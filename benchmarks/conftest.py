@@ -1,0 +1,40 @@
+"""Benchmark configuration: grid sizes and shared helpers.
+
+Each figure benchmark regenerates one evaluation artifact of the paper and
+prints its data series, then asserts the figure's *shape* properties (who
+wins, where the crossovers/saturation fall).  The paper sweeps 29 injection
+rates x 25 trials on real hardware; bench defaults use a reduced grid that
+preserves every trend and runs in minutes.  Environment overrides:
+
+* ``REPRO_BENCH_RATES``  - number of injection-rate points (default 6)
+* ``REPRO_BENCH_TRIALS`` - trials per point (default 2)
+* ``REPRO_BENCH_LD_BATCH`` - Lane Detection rows per task (default 64;
+  1 = the paper's exact task granularity, much slower)
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.workload import paper_injection_rates
+
+
+def _env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+@pytest.fixture(scope="session")
+def bench_rates():
+    return list(paper_injection_rates(n=_env_int("REPRO_BENCH_RATES", 6)))
+
+
+@pytest.fixture(scope="session")
+def bench_trials():
+    return _env_int("REPRO_BENCH_TRIALS", 2)
+
+
+@pytest.fixture(scope="session")
+def ld_batch():
+    return _env_int("REPRO_BENCH_LD_BATCH", 64)

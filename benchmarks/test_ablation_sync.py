@@ -1,0 +1,60 @@
+"""Ablation bench: the Fig.-4 synchronization cost.
+
+Every blocking libCEDR call crosses the condvar wake path once (worker
+signals, application thread wakes).  This bench sweeps the futex-wake
+latency and shows per-application execution time growing linearly with it
+in blocking mode while the non-blocking form, which crosses the same path
+once per *wave* instead of once per call, is far less sensitive - the
+quantitative argument for the paper's dual blocking/non-blocking design.
+"""
+
+import dataclasses
+
+import numpy as np
+
+from repro.apps import PulseDoppler
+from repro.platforms import zcu102
+from repro.runtime import CedrRuntime, RuntimeConfig
+
+LATENCIES_US = [0.0, 5.0, 20.0, 50.0]
+
+
+def run_with_latency(latency_s, variant, seed=2):
+    app_def = PulseDoppler(batch=8)
+    platform = zcu102(n_cpu=3, n_fft=1).build(seed=seed)
+    config = RuntimeConfig(scheduler="eft", execute_kernels=False,
+                           signal_latency_s=latency_s)
+    runtime = CedrRuntime(platform, config)
+    runtime.start()
+    inst = app_def.make_instance("api", np.random.default_rng(seed), variant=variant)
+    runtime.submit(inst, at=0.0)
+    runtime.seal()
+    runtime.run()
+    return inst.execution_time
+
+
+def test_sync_latency_sensitivity(benchmark):
+    def sweep():
+        return {
+            variant: [run_with_latency(us * 1e-6, variant) for us in LATENCIES_US]
+            for variant in ("blocking", "nonblocking")
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nwake latency sweep (exec ms per app):")
+    print(f"{'latency (us)':>13} | {'blocking':>9} | {'non-blocking':>12}")
+    for i, us in enumerate(LATENCIES_US):
+        print(f"{us:13.0f} | {results['blocking'][i]*1e3:9.2f} | "
+              f"{results['nonblocking'][i]*1e3:12.2f}")
+
+    blocking = results["blocking"]
+    nonblocking = results["nonblocking"]
+    # blocking exec time strictly grows with wake latency
+    assert all(b2 > b1 for b1, b2 in zip(blocking, blocking[1:]))
+    # the blocking form pays ~one wake per call; at 50us that is visible
+    blocking_growth = blocking[-1] - blocking[0]
+    nonblocking_growth = nonblocking[-1] - nonblocking[0]
+    assert blocking_growth > 2 * nonblocking_growth
+    # sanity: the growth is in the right ballpark (calls x latency)
+    n_calls = 66  # PD at batch=8: 2*16 + 1 + 32 + zips 16 ... ~66 kernel calls
+    assert blocking_growth > 0.5 * n_calls * 50e-6

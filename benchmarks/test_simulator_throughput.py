@@ -1,0 +1,52 @@
+"""Microbenchmarks of the simulation substrate itself.
+
+These use pytest-benchmark's statistics properly (multiple rounds): they
+measure the *wall-clock* cost of simulating CEDR, which bounds how large a
+figure sweep is practical.  They also pin down that the engine scales
+linearly in event count - a regression here silently makes every figure
+bench slower.
+"""
+
+import numpy as np
+
+from repro.apps import PulseDoppler
+from repro.platforms import zcu102
+from repro.runtime import CedrRuntime, RuntimeConfig
+from repro.simcore import Compute, Engine
+
+
+def test_engine_event_throughput(benchmark):
+    """Dispatch rate of the bare engine (ping-pong compute threads)."""
+
+    def run():
+        eng = Engine(cores=4)
+
+        def worker():
+            for _ in range(500):
+                yield Compute(1e-6)
+
+        for i in range(8):
+            eng.spawn(worker(), f"w{i}")
+        eng.run()
+        return eng.events_processed
+
+    events = benchmark(run)
+    assert events >= 4000
+
+
+def test_pd_simulation_throughput(benchmark):
+    """One full Pulse Doppler frame through the runtime, timing-only."""
+
+    def run():
+        platform = zcu102(n_cpu=3, n_fft=1).build(seed=0)
+        runtime = CedrRuntime(platform, RuntimeConfig(scheduler="heft_rt",
+                                                      execute_kernels=False))
+        runtime.start()
+        inst = PulseDoppler(batch=4).make_instance("api", np.random.default_rng(0))
+        runtime.submit(inst, at=0.0)
+        runtime.seal()
+        runtime.run()
+        return runtime.counters.tasks_completed
+
+    tasks = benchmark(run)
+    assert tasks > 100

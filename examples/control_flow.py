@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""The paper's Fig. 2: control flow breaks the DAG format, not the API.
+
+A loop that alternates kernels (``for i: y = ifft(zip(fft(y), h))``) cannot
+be expressed as a DAG with per-iteration nodes when the trip count is
+data-dependent, so baseline CEDR must collapse the whole loop into ONE
+CPU-only node - "benefits of acceleration in this application are reduced".
+The API-based model just calls the kernels inside a normal Python/C loop
+and every iteration's kernels remain individually schedulable.
+
+This example builds both forms of the same iterated filter, runs them on a
+ZCU102 with an FFT accelerator, and prints where the kernels executed:
+the collapsed DAG leaves the accelerator idle, the API form uses it.
+
+Run:  python examples/control_flow.py
+"""
+
+import numpy as np
+
+from repro.dag import DagBuilder, collapse_subgraph, parse_dag
+from repro.platforms import zcu102
+from repro.runtime import AppInstance, CedrRuntime, RuntimeConfig
+
+N = 1024
+ITERATIONS = 6
+SEED = 5
+
+
+def make_filter(rng) -> np.ndarray:
+    return np.exp(-np.linspace(0, 4, N)) * np.exp(1j * rng.normal(0, 0.1, N))
+
+
+def reference(signal, spectrum_filter):
+    y = signal
+    for _ in range(ITERATIONS):
+        y = np.fft.ifft(np.fft.fft(y) * spectrum_filter)
+    return y
+
+
+def build_collapsed_dag(signal, spectrum_filter):
+    """The loop body as per-iteration nodes... then collapsed (Fig. 2)."""
+    b = DagBuilder("iterated-filter")
+    b.cpu("init", lambda s: None, 1e-6)
+    prev = "init"
+    loop_members = []
+    for i in range(ITERATIONS):
+        src = "y" if i == 0 else f"y_{i - 1}"
+        f = b.kernel(f"fft_{i}", "fft", {"n": N}, [src], f"F_{i}", after=[prev])
+        z = b.kernel(f"zip_{i}", "zip", {"n": N}, [f"F_{i}", "h"], f"P_{i}", after=[f])
+        iv = b.kernel(f"ifft_{i}", "ifft", {"n": N}, [f"P_{i}"], f"y_{i}", after=[z])
+        loop_members += [f, z, iv]
+        prev = iv
+    spec, bindings = b.build_raw()
+    # The DAG format cannot carry the loop's control flow, so CEDR's
+    # frontend must fuse the whole structure into a single CPU-only node:
+    platform_timing = zcu102().timing
+    spec, bindings = collapse_subgraph(spec, bindings, loop_members, "fused_loop", platform_timing)
+    program = parse_dag(spec, bindings)
+    state = {"y": signal, "h": spectrum_filter}
+    return AppInstance(name="loop-dag", mode="dag", frame_mb=0.1,
+                       dag=program, initial_state=state)
+
+
+def api_main_factory(signal, spectrum_filter):
+    def main(lib):
+        y = signal
+        for _ in range(ITERATIONS):  # ordinary control flow, per-kernel tasks
+            spec = yield from lib.fft(y)
+            prod = yield from lib.zip(spec, spectrum_filter)
+            y = yield from lib.ifft(prod)
+        return y
+    return main
+
+
+def run(instance):
+    platform = zcu102(n_cpu=3, n_fft=1).build(seed=SEED)
+    runtime = CedrRuntime(platform, RuntimeConfig(scheduler="rr"))
+    runtime.start()
+    runtime.submit(instance, at=0.0)
+    runtime.seal()
+    runtime.run()
+    return runtime
+
+
+def main() -> None:
+    rng = np.random.default_rng(SEED)
+    signal = rng.normal(size=N) + 1j * rng.normal(size=N)
+    h = make_filter(rng)
+    golden = reference(signal, h)
+
+    dag_app = build_collapsed_dag(signal.copy(), h)
+    rt_dag = run(dag_app)
+    y_dag = dag_app.state[f"y_{ITERATIONS - 1}"]
+
+    api_app = AppInstance(name="loop-api", mode="api", frame_mb=0.1,
+                          main_factory=api_main_factory(signal.copy(), h))
+    rt_api = run(api_app)
+
+    assert np.allclose(y_dag, golden, atol=1e-8)
+    assert np.allclose(api_app.result, golden, atol=1e-8)
+    print("both forms compute the identical filtered signal\n")
+    print(f"{'form':>22} | {'schedulable tasks':>17} | per-PE placement")
+    print("-" * 70)
+    print(f"{'DAG (loop collapsed)':>22} | {rt_dag.counters.tasks_completed:17d} | "
+          f"{rt_dag.logbook.tasks_by_pe()}")
+    print(f"{'API (loop intact)':>22} | {rt_api.counters.tasks_completed:17d} | "
+          f"{rt_api.logbook.tasks_by_pe()}")
+    print("\nThe collapsed DAG presents one fused CPU-only task, so the FFT "
+          "accelerator never sees the loop; the API form keeps all "
+          f"{3 * ITERATIONS} kernels independently schedulable.")
+
+
+if __name__ == "__main__":
+    main()

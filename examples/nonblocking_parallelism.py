@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Non-blocking APIs recover DAG-level parallelism (paper Section II-C).
+
+The blocking API serializes an application: one kernel in flight per app
+thread.  The non-blocking variants let "performance programmers maximally
+exploit opportunities for parallelism".  This example measures one Pulse
+Doppler frame alone on the ZCU102 under the three programming models and
+shows the non-blocking API approaching DAG-based execution time, the
+paper's claim that the productivity gain need not cost performance.
+
+Run:  python examples/nonblocking_parallelism.py
+"""
+
+import numpy as np
+
+from repro.apps import PulseDoppler
+from repro.platforms import zcu102
+from repro.runtime import CedrRuntime, RuntimeConfig
+
+
+def run_mode(app_def, inputs, mode, variant=None):
+    platform = zcu102(n_cpu=3, n_fft=1).build(seed=1)
+    runtime = CedrRuntime(platform, RuntimeConfig(scheduler="heft_rt", execute_kernels=False))
+    runtime.start()
+    instance = app_def.make_instance(mode, np.random.default_rng(1),
+                                     variant=variant, inputs=inputs)
+    runtime.submit(instance, at=0.0)
+    runtime.seal()
+    runtime.run()
+    return instance.execution_time * 1e3, runtime.counters.ready_depth_max
+
+
+def main() -> None:
+    app_def = PulseDoppler(batch=4)
+    inputs = app_def.make_input(np.random.default_rng(1))
+
+    dag_ms, dag_q = run_mode(app_def, inputs, "dag")
+    blk_ms, blk_q = run_mode(app_def, inputs, "api", "blocking")
+    nb_ms, nb_q = run_mode(app_def, inputs, "api", "nonblocking")
+
+    print(f"{'model':>22} | {'exec (ms)':>9} | {'max ready-queue':>15}")
+    print("-" * 52)
+    print(f"{'DAG-based':>22} | {dag_ms:9.2f} | {dag_q:15d}")
+    print(f"{'API, blocking':>22} | {blk_ms:9.2f} | {blk_q:15d}")
+    print(f"{'API, non-blocking':>22} | {nb_ms:9.2f} | {nb_q:15d}")
+
+    gap_blocking = blk_ms / dag_ms
+    gap_nb = nb_ms / dag_ms
+    print(f"\nblocking API runs {gap_blocking:.2f}x the DAG time "
+          f"(one task in flight at a time);")
+    print(f"non-blocking API closes that to {gap_nb:.2f}x by keeping whole "
+          "phases of FFT/ZIP tasks in flight - equivalent performance "
+          "without writing a DAG.")
+
+
+if __name__ == "__main__":
+    main()

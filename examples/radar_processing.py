@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Radar processing in depth: DAG-based vs API-based CEDR on one frame.
+
+Runs the same Pulse Doppler frame three ways on an emulated ZCU102
+(3 CPUs + 1 FFT accelerator):
+
+* DAG-based CEDR - the baseline JSON-DAG programming model;
+* API-based CEDR with blocking calls - the productive default;
+* API-based CEDR with non-blocking calls - the performance programmer's
+  variant (paper Section II-C).
+
+All three produce the identical detection; the printed timing/log summary
+shows how the programming model changes what the runtime sees (task count,
+ready-queue depth) even when the math is the same.
+
+Run:  python examples/radar_processing.py
+"""
+
+import numpy as np
+
+from repro.apps import PulseDoppler
+from repro.platforms import zcu102
+from repro.runtime import CedrRuntime, RuntimeConfig
+
+
+def run_one(app_def, inputs, mode, variant=None, seed=7):
+    platform = zcu102(n_cpu=3, n_fft=1).build(seed=seed)
+    runtime = CedrRuntime(platform, RuntimeConfig(scheduler="eft"))
+    runtime.start()
+    rng = np.random.default_rng(seed)
+    instance = app_def.make_instance(mode, rng, variant=variant, inputs=inputs)
+    runtime.submit(instance, at=0.0)
+    runtime.seal()
+    runtime.run()
+    detection = instance.result if mode == "api" else instance.state["detection"]
+    return {
+        "detection": detection,
+        "exec_ms": instance.execution_time * 1e3,
+        "tasks": runtime.counters.tasks_completed,
+        "queue_max": runtime.counters.ready_depth_max,
+        "per_pe": runtime.logbook.tasks_by_pe(),
+    }
+
+
+def main() -> None:
+    app_def = PulseDoppler(batch=8)
+    inputs = app_def.make_input(np.random.default_rng(42))
+    golden = app_def.reference(inputs)
+    print(f"golden detection: range bin {golden.range_bin}, "
+          f"{golden.velocity_ms:+.1f} m/s\n")
+
+    rows = [
+        ("DAG-based", run_one(app_def, inputs, "dag")),
+        ("API blocking", run_one(app_def, inputs, "api", "blocking")),
+        ("API non-blocking", run_one(app_def, inputs, "api", "nonblocking")),
+    ]
+    header = f"{'variant':>18} | {'exec (ms)':>9} | {'tasks':>5} | {'max queue':>9} | per-PE tasks"
+    print(header)
+    print("-" * len(header))
+    for name, res in rows:
+        det = res["detection"]
+        assert det.range_bin == golden.range_bin, f"{name} diverged"
+        print(f"{name:>18} | {res['exec_ms']:9.2f} | {res['tasks']:5d} | "
+              f"{res['queue_max']:9d} | {res['per_pe']}")
+    print("\nAll variants agree with the golden detection; the non-blocking "
+          "form keeps whole task waves in flight, spreading across the PEs "
+          "like the DAG does, while the blocking form serializes on cpu0.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""WiFi TX through CEDR plus an offline RX loopback check.
+
+Transmits a frame of 64-bit packets with the WiFi TX application under
+API-based CEDR on the emulated ZCU102, then runs a receiver chain (CP
+removal -> FFT -> demodulation -> deinterleave -> Viterbi -> descramble)
+offline to show the baseband kernels close the loop bit-exactly.
+
+Run:  python examples/wifi_pipeline.py
+"""
+
+import numpy as np
+
+from repro.apps import WifiTx
+from repro.kernels import wifi
+from repro.kernels.fft import fft as cpu_fft
+from repro.platforms import zcu102
+from repro.runtime import CedrRuntime, RuntimeConfig
+
+
+def receive(frame: np.ndarray, tx: WifiTx) -> np.ndarray:
+    """Demodulate a (n_packets, 160) frame back to payload bits."""
+    recovered = []
+    for symbol in frame:
+        no_cp = symbol[tx.cp_len:]                    # strip cyclic prefix
+        grid = cpu_fft(no_cp)                         # back to subcarriers
+        data = grid[wifi.DATA_CARRIERS]
+        bits = wifi.demodulate_hard(data, tx.scheme)
+        coded = wifi.deinterleave(bits, bits.size)
+        decoded = wifi.viterbi_decode(coded, terminated=False)
+        recovered.append(wifi.scramble(decoded, tx.scrambler_seed))
+    return np.stack(recovered)
+
+
+def main() -> None:
+    tx = WifiTx(n_packets=20, batch=2)
+    rng = np.random.default_rng(3)
+    inputs = tx.make_input(rng)
+
+    platform = zcu102(n_cpu=3, n_fft=1).build(seed=3)
+    runtime = CedrRuntime(platform, RuntimeConfig(scheduler="rr"))
+    runtime.start()
+    instance = tx.make_instance("api", rng, inputs=inputs)
+    runtime.submit(instance, at=0.0)
+    runtime.seal()
+    runtime.run()
+
+    frame = instance.result
+    print(f"transmitted {frame.shape[0]} OFDM packets "
+          f"({frame.shape[1]} samples each, CP included) "
+          f"in {instance.execution_time * 1e3:.2f} ms simulated")
+
+    recovered = receive(frame, tx)
+    errors = int(np.sum(recovered != inputs["bits"]))
+    print(f"RX loopback: {errors} bit errors over "
+          f"{inputs['bits'].size} payload bits")
+    assert errors == 0, "loopback must be bit-exact on a clean channel"
+    print("scramble -> encode -> interleave -> QPSK -> IFFT chain verified "
+          "end to end through the runtime.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""Real-life applications in reference/API/DAG forms.
+
+The paper's evaluation uses Pulse Doppler, WiFi TX, and Lane Detection;
+the wider CEDR benchmark suite also ships a WiFi receiver and Temporal
+Interference Mitigation, provided here as well (RX stresses the
+non-kernel/CPU side, TM is the GEMM workload that exercises the MMULT
+accelerator).
+"""
+
+from .base import CedrApplication, Variant, chunk_slices, work_for_elems
+from .lane_detection import LaneDetection
+from .pulse_doppler import PulseDoppler
+from .temporal_mitigation import TemporalMitigation, TMResult
+from .wifi_rx import RxResult, WifiRx
+from .wifi_tx import WifiTx
+
+#: the applications the paper's figures use
+PAPER_APPS = ("PD", "TX", "LD")
+
+__all__ = [
+    "CedrApplication",
+    "Variant",
+    "chunk_slices",
+    "work_for_elems",
+    "PulseDoppler",
+    "WifiTx",
+    "WifiRx",
+    "RxResult",
+    "LaneDetection",
+    "TemporalMitigation",
+    "TMResult",
+    "PAPER_APPS",
+]

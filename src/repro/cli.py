@@ -1,0 +1,238 @@
+"""Command-line interface: run workloads and regenerate paper figures.
+
+The real CEDR ships command-line tools (``sub_dag`` and friends) that
+submit applications to the daemon over IPC.  This module is the
+reproduction's equivalent front end::
+
+    python -m repro list
+    python -m repro run --platform zcu102 --fft 2 --apps PD:3,TX:3 \\
+        --mode api --scheduler heft_rt --rate 200
+    python -m repro run --platform jetson --apps LD:1,PD:2 --trace out.json
+    python -m repro figure fig5
+    python -m repro figure fig10a --trials 2
+
+``run`` prints the paper's three metrics for the run (plus optional energy
+and a Chrome trace dump); ``figure`` prints the regenerated series tables
+of the requested evaluation figure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.apps import (
+    LaneDetection,
+    PulseDoppler,
+    TemporalMitigation,
+    WifiRx,
+    WifiTx,
+)
+from repro.metrics import RunResult, format_series_table
+from repro.platforms import estimate_energy, jetson, zcu102, zcu102_biglittle
+from repro.runtime import CedrRuntime, RuntimeConfig
+from repro.runtime.trace import write_chrome_trace
+from repro.sched import available_schedulers
+from repro.workload import WorkloadEntry, WorkloadSpec
+
+__all__ = ["main", "build_parser"]
+
+#: registered application constructors (CLI defaults keep runs snappy)
+APP_FACTORIES = {
+    "PD": lambda: PulseDoppler(batch=8),
+    "TX": lambda: WifiTx(batch=5),
+    "RX": lambda: WifiRx(batch=5),
+    "LD": lambda: LaneDetection(height=135, width=240, batch=32),
+    "TM": lambda: TemporalMitigation(n_blocks=32),
+}
+
+PLATFORM_NAMES = ("zcu102", "jetson", "zcu102-biglittle")
+FIGURE_IDS = ("fig5", "fig67", "fig8", "fig9", "fig10a", "fig10b")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CEDR-API reproduction: run emulated DSSoC workloads "
+                    "and regenerate the paper's figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list platforms, applications, and schedulers")
+
+    run = sub.add_parser("run", help="run a workload and print its metrics")
+    run.add_argument("--platform", choices=PLATFORM_NAMES, default="zcu102")
+    run.add_argument("--cpu", type=int, default=None,
+                     help="CPU worker PEs (platform default if omitted)")
+    run.add_argument("--fft", type=int, default=1, help="FFT accelerators (ZCU102)")
+    run.add_argument("--mmult", type=int, default=0, help="MMULT accelerators (ZCU102)")
+    run.add_argument("--little", type=int, default=4,
+                     help="LITTLE cores (zcu102-biglittle only)")
+    run.add_argument("--apps", default="PD:2,TX:2",
+                     help="comma list of NAME:COUNT (apps: %s)" % ",".join(APP_FACTORIES))
+    run.add_argument("--mode", choices=("dag", "api"), default="api")
+    run.add_argument("--scheduler", default="heft_rt")
+    run.add_argument("--rate", type=float, default=200.0, help="injection rate, Mbps")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--timing-only", action="store_true",
+                     help="skip functional kernel execution")
+    run.add_argument("--energy", action="store_true", help="print an energy estimate")
+    run.add_argument("--trace", metavar="PATH", default=None,
+                     help="write a Chrome trace (chrome://tracing) to PATH")
+    run.add_argument("--gantt", action="store_true",
+                     help="print an ASCII Gantt chart of the schedule")
+
+    fig = sub.add_parser("figure", help="regenerate one evaluation figure")
+    fig.add_argument("id", choices=FIGURE_IDS)
+    fig.add_argument("--rates", type=int, default=6, help="injection-rate grid points")
+    fig.add_argument("--trials", type=int, default=1)
+    fig.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _parse_apps(spec: str) -> list[tuple[str, int]]:
+    out = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, _, count = part.partition(":")
+        name = name.upper()
+        if name not in APP_FACTORIES:
+            raise SystemExit(f"unknown application {name!r}; options: {sorted(APP_FACTORIES)}")
+        try:
+            n = int(count) if count else 1
+        except ValueError:
+            raise SystemExit(f"bad count in {part!r}") from None
+        if n < 1:
+            raise SystemExit(f"count must be >= 1 in {part!r}")
+        out.append((name, n))
+    if not out:
+        raise SystemExit("empty --apps specification")
+    return out
+
+
+def _make_platform(args) -> object:
+    if args.platform == "zcu102":
+        return zcu102(n_cpu=args.cpu if args.cpu is not None else 3,
+                      n_fft=args.fft, n_mmult=args.mmult)
+    if args.platform == "jetson":
+        return jetson(n_cpu=args.cpu if args.cpu is not None else 7)
+    return zcu102_biglittle(n_big=args.cpu if args.cpu is not None else 3,
+                            n_little=args.little, n_fft=args.fft,
+                            n_mmult=args.mmult)
+
+
+def _cmd_list() -> int:
+    print("platforms :", ", ".join(PLATFORM_NAMES))
+    print("apps      :", ", ".join(sorted(APP_FACTORIES)))
+    print("schedulers:", ", ".join(available_schedulers()))
+    print("figures   :", ", ".join(FIGURE_IDS))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    entries = tuple(
+        WorkloadEntry(APP_FACTORIES[name](), count) for name, count in _parse_apps(args.apps)
+    )
+    workload = WorkloadSpec(name="cli", entries=entries)
+    platform_cfg = _make_platform(args)
+    platform = platform_cfg.build(seed=args.seed)
+    runtime = CedrRuntime(
+        platform,
+        RuntimeConfig(scheduler=args.scheduler, execute_kernels=not args.timing_only),
+    )
+    runtime.start()
+    for app, arrival in workload.instantiate(args.mode, args.rate, args.seed):
+        runtime.submit(app, at=arrival)
+    runtime.seal()
+    runtime.run()
+    result = RunResult.from_runtime(runtime)
+
+    print(f"platform  : {platform_cfg.name}  mode={args.mode}  "
+          f"scheduler={args.scheduler}  rate={args.rate:g} Mbps")
+    print(f"apps      : {result.n_apps} completed, {result.tasks_completed} tasks, "
+          f"makespan {result.makespan * 1e3:.2f} ms")
+    print(f"exec time : {result.mean_exec_time * 1e3:.2f} ms/app  "
+          f"(per app type: "
+          + ", ".join(f"{k} {result.mean_exec_time_of(k)*1e3:.2f}"
+                      for k in sorted(result.exec_times_by_app)) + ")")
+    print(f"overheads : runtime {result.runtime_overhead_per_app * 1e3:.3f} ms/app, "
+          f"scheduling {result.sched_overhead_per_app * 1e3:.3f} ms/app "
+          f"({result.sched_rounds} rounds, ready depth mean "
+          f"{result.ready_depth_mean:.1f} / max {result.ready_depth_max})")
+    print(f"placement : {result.pe_task_histogram}")
+    if args.energy:
+        energy = estimate_energy(platform)
+        print(f"energy    : {energy.total_j:.2f} J "
+              f"(cpu {energy.cpu_j:.2f} + little {energy.little_j:.2f} + "
+              f"accel {energy.accel_j:.2f} + static {energy.static_j:.2f}), "
+              f"avg {energy.average_power_w:.2f} W")
+    if args.trace:
+        path = write_chrome_trace(args.trace, runtime)
+        print(f"trace     : wrote {path} (open in chrome://tracing or Perfetto)")
+    if args.gantt:
+        from repro.metrics import render_gantt
+
+        print()
+        print(render_gantt(runtime))
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    from repro.experiments import (
+        run_fig5,
+        run_fig6_fig7,
+        run_fig8,
+        run_fig9,
+        run_fig10a,
+        run_fig10b,
+        saturated_reduction,
+    )
+    from repro.workload import paper_injection_rates
+
+    rates = list(paper_injection_rates(n=args.rates))
+    if args.id == "fig5":
+        fig = run_fig5(rates=rates, trials=args.trials, seed=args.seed)
+        print(format_series_table(fig, y_scale=1e3, y_fmt="{:10.4f}"))
+        print(f"\nsaturated API-vs-DAG reduction: {saturated_reduction(fig):.1%} "
+              "(paper: 19.52%)")
+    elif args.id == "fig67":
+        panels = run_fig6_fig7(rates=rates, trials=args.trials, seed=args.seed)
+        for pid in ("fig6a", "fig6b", "fig7a", "fig7b"):
+            print(format_series_table(panels[pid], y_scale=1e3, y_fmt="{:10.3f}"))
+            print()
+    elif args.id == "fig8":
+        panels = run_fig8(rates=rates, trials=args.trials, seed=args.seed)
+        for pid in ("fig8a", "fig8b"):
+            print(format_series_table(panels[pid], y_scale=1e3, y_fmt="{:10.2f}"))
+            print()
+    elif args.id == "fig9":
+        panels = run_fig9(trials=args.trials, seed=args.seed)
+        for pid in ("fig9a", "fig9b"):
+            print(format_series_table(panels[pid], y_scale=1e3, y_fmt="{:10.1f}"))
+            print()
+    elif args.id == "fig10a":
+        fig = run_fig10a(trials=args.trials, seed=args.seed)
+        print(format_series_table(fig, y_scale=1e3, y_fmt="{:10.1f}"))
+    elif args.id == "fig10b":
+        fig = run_fig10b(trials=args.trials, seed=args.seed)
+        print(format_series_table(fig, y_scale=1e3, y_fmt="{:10.1f}"))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "figure":
+        return _cmd_figure(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

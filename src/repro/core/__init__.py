@@ -1,0 +1,25 @@
+"""CEDR-API: the paper's contribution - the API-based programming model.
+
+``CedrClient`` is the runtime-linked libCEDR (blocking + non-blocking
+APIs), ``StandaloneCedr`` the static CPU library for functional bring-up,
+``CedrRequest``/``wait_all`` the non-blocking synchronization surface, and
+``ModuleSet`` the per-platform accelerator module configuration.
+"""
+
+from .api import CedrClient
+from .handles import CedrRequest, ImmediateRequest, wait_all
+from .modules import STANDARD_MODULES, Module, ModuleSet, build_api_map
+from .standalone import StandaloneCedr, run_standalone
+
+__all__ = [
+    "CedrClient",
+    "StandaloneCedr",
+    "run_standalone",
+    "CedrRequest",
+    "ImmediateRequest",
+    "wait_all",
+    "Module",
+    "ModuleSet",
+    "STANDARD_MODULES",
+    "build_api_map",
+]

@@ -1,0 +1,194 @@
+"""The libCEDR API surface: blocking and non-blocking heterogeneous calls.
+
+This module is the reproduction's ``cedr.h`` + runtime-linked ``libcedr-rt``
+combined.  An application's ``main`` receives a :class:`CedrClient` and
+invokes hardware-agnostic kernel APIs on it::
+
+    spec = yield from lib.fft(pulse)            # blocking (Fig. 4 protocol)
+    reqs = [(yield from lib.fft_nb(p)) for p in pulses]   # non-blocking
+    specs = yield from wait_all(reqs)
+
+Each call builds a :class:`~repro.runtime.task.Task`, initializes the
+mutex/condvar completion pair, pushes the task into the CEDR ready queue
+*from the application thread* (the overhead transfer the paper credits for
+the Fig. 5 reduction), and rings the daemon's doorbell.  The blocking form
+then sleeps on the condition variable until the executing worker signals
+completion; the non-blocking form returns a :class:`CedrRequest`.
+
+The same application source also runs against
+:class:`~repro.core.standalone.StandaloneCedr` ("treating libCEDR like any
+other CPU-based library"), which is how users validate functional
+correctness before ever involving the runtime.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+import numpy as np
+
+from repro.runtime.task import CompletionHandle, Task
+from repro.simcore import Compute, Request
+
+from .handles import CedrRequest
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.app import AppInstance
+    from repro.runtime.daemon import CedrRuntime
+
+__all__ = ["CedrClient"]
+
+
+class CedrClient:
+    """Per-application libCEDR handle bound to a running CEDR runtime.
+
+    One instance exists per application thread; it is not shared across
+    applications (each keeps its own call counter and bookkeeping), exactly
+    like the per-process linkage of the real library.
+    """
+
+    #: True when kernels actually execute; timing-only sweeps set the
+    #: runtime's ``execute_kernels=False`` and applications may skip local
+    #: numpy post-processing when this is False.
+    executes: bool
+
+    def __init__(self, runtime: "CedrRuntime", app: "AppInstance") -> None:
+        self._runtime = runtime
+        self._app = app
+        self._calls = 0
+        self.executes = runtime.config.execute_kernels
+
+    @property
+    def engine(self):
+        return self._runtime.engine
+
+    # ------------------------------------------------------------------ #
+    # dispatch plumbing
+    # ------------------------------------------------------------------ #
+
+    def _submit(
+        self, api: str, params: dict, payload: Any
+    ) -> Generator[Request, Any, Task]:
+        """enqueue_kernel: build the task and hand it to the runtime.
+
+        All three cost constants are charged to the *application thread*
+        (processor-shared on the worker-core pool), not the daemon.
+        """
+        runtime = self._runtime
+        costs = runtime.config.costs
+        scale = runtime.cost_scale
+        self._calls += 1
+        name = f"{api}#{self._calls}"
+        yield Compute(costs.api_call_us * 1e-6 * scale)  # alloc + cond/mutex init
+        copy_cost = self._payload_bytes(api, params) * costs.api_copy_ns_per_byte * 1e-9
+        if copy_cost > 0.0:
+            yield Compute(copy_cost * scale)  # stage operand buffers
+        handle = CompletionHandle(runtime.engine, label=f"app{self._app.app_id}.{name}")
+        handle.cond.signal_latency = runtime.config.signal_latency_s
+        task = Task(
+            api=api,
+            params=params,
+            app_id=self._app.app_id,
+            name=name,
+            payload=payload,
+            completion=handle,
+            rank=runtime.mean_estimate(api, params),
+        )
+        self._app.tasks_total += 1
+        yield Compute(costs.api_push_us * 1e-6 * scale)
+        runtime.push_ready_from_app(task)
+        yield Compute(costs.api_kick_us * 1e-6 * scale)
+        runtime.post(("kick", None))
+        return task
+
+    def _call_blocking(self, api: str, params: dict, payload: Any):
+        task = yield from self._submit(api, params, payload)
+        return (yield from task.completion.wait())
+
+    def _call_nb(self, api: str, params: dict, payload: Any):
+        task = yield from self._submit(api, params, payload)
+        return CedrRequest(task)
+
+    @staticmethod
+    def _fft_params(x: Any) -> dict:
+        x = np.asarray(x)
+        n = x.shape[-1]
+        batch = int(np.prod(x.shape[:-1])) if x.ndim > 1 else 1
+        return {"n": int(n), "batch": batch}
+
+    @staticmethod
+    def _payload_bytes(api: str, params: dict) -> float:
+        """Operand bytes a call marshals (complex128 elements)."""
+        if api in ("fft", "ifft"):
+            return 16.0 * params["n"] * params.get("batch", 1)
+        if api == "zip":
+            return 2 * 16.0 * params["n"]
+        if api == "gemm":
+            return 16.0 * (
+                params["m"] * params["k"] + params["k"] * params["n"]
+            )
+        return 0.0
+
+    # ------------------------------------------------------------------ #
+    # blocking APIs (cedr.h declarations, Listing 1)
+    # ------------------------------------------------------------------ #
+
+    def fft(self, x):
+        """Forward FFT along the last axis; blocks until complete."""
+        return self._call_blocking("fft", self._fft_params(x), x)
+
+    def ifft(self, x):
+        """Inverse FFT along the last axis; blocks until complete."""
+        return self._call_blocking("ifft", self._fft_params(x), x)
+
+    def zip(self, a, b):
+        """Element-wise product; blocks until complete."""
+        a = np.asarray(a)
+        return self._call_blocking("zip", {"n": int(a.size)}, (a, b))
+
+    def gemm(self, a, b):
+        """Matrix multiply; blocks until complete."""
+        a = np.asarray(a)
+        b = np.asarray(b)
+        params = {"m": a.shape[0], "k": a.shape[1], "n": b.shape[1]}
+        return self._call_blocking("gemm", params, (a, b))
+
+    # ------------------------------------------------------------------ #
+    # non-blocking APIs
+    # ------------------------------------------------------------------ #
+
+    def fft_nb(self, x):
+        """Non-blocking forward FFT; returns a :class:`CedrRequest`."""
+        return self._call_nb("fft", self._fft_params(x), x)
+
+    def ifft_nb(self, x):
+        """Non-blocking inverse FFT; returns a :class:`CedrRequest`."""
+        return self._call_nb("ifft", self._fft_params(x), x)
+
+    def zip_nb(self, a, b):
+        """Non-blocking element-wise product."""
+        a = np.asarray(a)
+        return self._call_nb("zip", {"n": int(a.size)}, (a, b))
+
+    def gemm_nb(self, a, b):
+        """Non-blocking matrix multiply."""
+        a = np.asarray(a)
+        b = np.asarray(b)
+        params = {"m": a.shape[0], "k": a.shape[1], "n": b.shape[1]}
+        return self._call_nb("gemm", params, (a, b))
+
+    # ------------------------------------------------------------------ #
+    # application-local (non-kernel) work
+    # ------------------------------------------------------------------ #
+
+    def local_work(self, seconds_at_1ghz: float) -> Generator[Request, Any, None]:
+        """Charge non-kernel application code to the application thread.
+
+        This is the code CEDR-API leaves *inside* ``main`` instead of
+        carving into DAG nodes; it runs processor-shared on the worker-core
+        pool and is the source of the thread-contention effects in the
+        paper's Figs 6, 8, and 10.
+        """
+        if seconds_at_1ghz < 0:
+            raise ValueError(f"negative local work: {seconds_at_1ghz}")
+        yield Compute(seconds_at_1ghz / self._runtime.platform.timing.cpu_clock_ghz)

@@ -1,0 +1,86 @@
+"""Request handles for the non-blocking libCEDR APIs.
+
+The paper's non-blocking variants "allow the end user to have full control
+over the task synchronization primitives such that they can manually
+maximize parallelism".  A :class:`CedrRequest` is that control surface: the
+application thread gets one back immediately from a ``*_nb`` call and can
+``test()`` it, ``wait()`` on it, or hold a whole window of them in flight
+(see :func:`wait_all`).  :class:`ImmediateRequest` is the standalone-mode
+twin whose result already exists, so the exact same application source
+compiles against both the runtime and the plain CPU library.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Iterable
+
+from repro.simcore import Request
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.task import Task
+
+__all__ = ["CedrRequest", "ImmediateRequest", "wait_all"]
+
+
+class CedrRequest:
+    """Handle to one in-flight non-blocking libCEDR call."""
+
+    def __init__(self, task: "Task") -> None:
+        self._task = task
+
+    def test(self) -> bool:
+        """Non-blockingly check completion (``pthread_cond``-free peek)."""
+        return self._task.completion.done
+
+    def wait(self) -> Generator[Request, Any, Any]:
+        """Block until the call completes; returns its result.
+
+        Idempotent - waiting again returns the same result immediately.
+        """
+        return (yield from self._task.completion.wait())
+
+    @property
+    def result(self) -> Any:
+        """The completed result; raises if the call is still in flight."""
+        if not self.test():
+            raise RuntimeError(
+                f"result of task {self._task.tid} ({self._task.api}) not ready; "
+                "wait() on the request first"
+            )
+        return self._task.completion.result
+
+    @property
+    def api(self) -> str:
+        return self._task.api
+
+
+class ImmediateRequest:
+    """Standalone-mode handle: the call already executed synchronously."""
+
+    def __init__(self, result: Any, api: str = "?") -> None:
+        self._result = result
+        self.api = api
+
+    def test(self) -> bool:
+        return True
+
+    def wait(self) -> Generator[Request, Any, Any]:
+        if False:  # pragma: no cover - makes this a generator function
+            yield
+        return self._result
+
+    @property
+    def result(self) -> Any:
+        return self._result
+
+
+def wait_all(requests: Iterable) -> Generator[Request, Any, list[Any]]:
+    """Wait on a window of requests; returns their results in order.
+
+    The canonical pattern for performance programmers: issue a batch of
+    ``*_nb`` calls, then ``results = yield from wait_all(reqs)``.
+    """
+    results = []
+    for req in requests:
+        results.append((yield from req.wait()))
+    return results

@@ -1,0 +1,91 @@
+"""libCEDR module system: platform-specific accelerator implementations.
+
+In the paper's Fig. 3, each DSSoC platform enables a set of *libCEDR
+Modules* (an ``fft`` module for a platform with an FFT accelerator, etc.);
+compiling libCEDR with a module set yields the runtime shared object whose
+(API, resource type) pairs the daemon maps at startup.  This module
+reproduces that configuration step: a :class:`ModuleSet` names the enabled
+modules, and :func:`build_api_map` produces the startup mapping from each
+(API, PE kind) to a physical implementation - or omits the pair, which the
+scheduler then treats as "this PE does not support the API".
+
+Every API always retains its CPU implementation (the paper requires
+"at a minimum, standard C/C++ implementations"), so disabling a module
+degrades to CPU execution rather than breaking the application.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.kernels.registry import KERNEL_IMPLS
+from repro.platforms.pe import PEKind
+
+__all__ = ["Module", "ModuleSet", "STANDARD_MODULES", "build_api_map"]
+
+
+@dataclass(frozen=True)
+class Module:
+    """One libCEDR module: the accelerator implementations it contributes."""
+
+    name: str
+    #: (api, accelerator kind) pairs this module provides
+    provides: tuple[tuple[str, PEKind], ...]
+
+    def implementations(self) -> dict[tuple[str, PEKind], Callable]:
+        impls = {}
+        for api, kind in self.provides:
+            if (api, kind) not in KERNEL_IMPLS:
+                raise KeyError(
+                    f"module {self.name!r} declares ({api!r}, {kind.value}) but no "
+                    "kernel implementation is registered"
+                )
+            impls[(api, kind)] = KERNEL_IMPLS[(api, kind)]
+        return impls
+
+
+#: The modules shipped with this reproduction, mirroring the platforms the
+#: paper evaluates: FFT/MMULT fabric modules for the ZCU102 and CUDA FFT/ZIP
+#: modules for the Jetson.
+STANDARD_MODULES: dict[str, Module] = {
+    "fft": Module("fft", (("fft", PEKind.FFT), ("ifft", PEKind.FFT))),
+    "mmult": Module("mmult", (("gemm", PEKind.MMULT),)),
+    "cuda_fft": Module("cuda_fft", (("fft", PEKind.GPU), ("ifft", PEKind.GPU))),
+    "cuda_zip": Module("cuda_zip", (("zip", PEKind.GPU),)),
+}
+
+
+class ModuleSet:
+    """The module selection a user compiles libCEDR with."""
+
+    def __init__(self, names: tuple[str, ...] = ()) -> None:
+        unknown = [n for n in names if n not in STANDARD_MODULES]
+        if unknown:
+            raise KeyError(f"unknown libCEDR modules {unknown}; available: {sorted(STANDARD_MODULES)}")
+        self.names = tuple(names)
+
+    @classmethod
+    def for_zcu102(cls) -> "ModuleSet":
+        return cls(("fft", "mmult"))
+
+    @classmethod
+    def for_jetson(cls) -> "ModuleSet":
+        return cls(("cuda_fft", "cuda_zip"))
+
+    def modules(self) -> list[Module]:
+        return [STANDARD_MODULES[n] for n in self.names]
+
+
+def build_api_map(module_set: ModuleSet) -> dict[tuple[str, PEKind], Callable]:
+    """The daemon's startup mapping: (API, PE kind) -> implementation.
+
+    CPU implementations of every API are always present; enabled modules
+    contribute their accelerator entries on top.
+    """
+    api_map: dict[tuple[str, PEKind], Callable] = {
+        (api, kind): impl for (api, kind), impl in KERNEL_IMPLS.items() if kind is PEKind.CPU
+    }
+    for module in module_set.modules():
+        api_map.update(module.implementations())
+    return api_map

@@ -1,0 +1,95 @@
+"""Standalone CPU mode: libCEDR as "any other CPU-based library".
+
+The paper's workflow (Fig. 3) starts with functional bring-up: link against
+the static ``libcedr.a`` whose APIs are plain C/C++ implementations, debug
+on the CPU, and only then rebuild as a shared object for the runtime.
+:class:`StandaloneCedr` is that static library: every API executes
+immediately and synchronously with the CPU kernel implementations, while
+keeping the exact generator-based calling convention so the *same
+application source* runs under both this and the runtime-backed
+:class:`~repro.core.api.CedrClient`.  Integration tests diff the outputs of
+the two paths to prove functional equivalence.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+import numpy as np
+
+from repro.kernels import fft as fft_mod
+from repro.kernels.mmult import gemm as gemm_kernel
+from repro.kernels.zip_ import zip_product
+
+from .handles import ImmediateRequest
+
+__all__ = ["StandaloneCedr"]
+
+
+def _ret(value: Any) -> Generator:
+    """A generator that yields nothing and returns *value* - keeps blocking
+    API signatures identical between standalone and runtime modes."""
+    if False:  # pragma: no cover - generator-function marker
+        yield
+    return value
+
+
+class StandaloneCedr:
+    """Immediate-execution implementation of the libCEDR API surface."""
+
+    #: standalone mode always executes real kernels
+    executes = True
+
+    # -- blocking ---------------------------------------------------------- #
+
+    def fft(self, x):
+        return _ret(fft_mod.fft(np.asarray(x)))
+
+    def ifft(self, x):
+        return _ret(fft_mod.ifft(np.asarray(x)))
+
+    def zip(self, a, b):
+        return _ret(zip_product(np.asarray(a), np.asarray(b)))
+
+    def gemm(self, a, b):
+        return _ret(gemm_kernel(np.asarray(a), np.asarray(b)))
+
+    # -- non-blocking -------------------------------------------------------- #
+
+    def fft_nb(self, x):
+        return _ret(ImmediateRequest(fft_mod.fft(np.asarray(x)), api="fft"))
+
+    def ifft_nb(self, x):
+        return _ret(ImmediateRequest(fft_mod.ifft(np.asarray(x)), api="ifft"))
+
+    def zip_nb(self, a, b):
+        return _ret(ImmediateRequest(zip_product(np.asarray(a), np.asarray(b)), api="zip"))
+
+    def gemm_nb(self, a, b):
+        return _ret(ImmediateRequest(gemm_kernel(np.asarray(a), np.asarray(b)), api="gemm"))
+
+    # -- local work ----------------------------------------------------------- #
+
+    def local_work(self, seconds_at_1ghz: float):
+        """No-op in standalone mode (real CPU time is the cost)."""
+        if seconds_at_1ghz < 0:
+            raise ValueError(f"negative local work: {seconds_at_1ghz}")
+        return _ret(None)
+
+
+def run_standalone(main_factory) -> Any:
+    """Drive an application ``main`` generator to completion synchronously.
+
+    ``main_factory`` is the same callable an :class:`AppInstance` carries;
+    it receives a :class:`StandaloneCedr` and its generator is exhausted
+    inline (no simulator involved).  Returns the application's result.
+    """
+    gen = main_factory(StandaloneCedr())
+    try:
+        while True:
+            next(gen)
+    except StopIteration as stop:
+        return stop.value
+
+
+__all__.append("run_standalone")

@@ -1,0 +1,96 @@
+"""Parsed DAG programs and their per-submission instantiation.
+
+A :class:`DagProgram` is the validated, topology-resolved form of a
+(spec, bindings) pair - what the CEDR daemon holds after parsing the JSON
+it received over IPC.  Each submission instantiates fresh
+:class:`~repro.runtime.task.Task` objects plus a private ``state`` dict
+seeded with the frame's input arrays; tasks communicate exclusively through
+that dict (the analogue of the shared-object's buffers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.platforms.pe import CPU_ONLY_API
+from repro.runtime.task import Task
+
+from .schema import validate_spec
+
+__all__ = ["DagProgram", "parse_dag"]
+
+
+@dataclass
+class DagProgram:
+    """A validated DAG application, ready to instantiate per submission."""
+
+    name: str
+    spec: Mapping[str, Any]
+    bindings: Mapping[str, Callable] = field(default_factory=dict)
+    #: topological order of node names (computed at parse time)
+    topo_order: list[str] = field(default_factory=list)
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.spec["nodes"])
+
+    def instantiate(
+        self, app_id: int, initial_state: Mapping[str, Any] | None = None
+    ) -> tuple[list[Task], list[Task], dict[str, Any]]:
+        """Build the task graph for one submission.
+
+        Returns ``(all_tasks, head_tasks, state)`` where heads have no
+        unmet dependencies and go straight to the ready queue.
+        """
+        nodes = self.spec["nodes"]
+        state: dict[str, Any] = dict(initial_state or {})
+        tasks: dict[str, Task] = {}
+        for node_name in self.topo_order:
+            node = nodes[node_name]
+            api = node["api"]
+            task = Task(
+                api=api,
+                params=dict(node.get("params", {})),
+                app_id=app_id,
+                name=node_name,
+                input_keys=tuple(node.get("inputs", ())),
+                output_key=node.get("output"),
+                cpu_fn=self.bindings.get(node_name) if api == CPU_ONLY_API else None,
+            )
+            tasks[node_name] = task
+            for pred in set(node.get("after", [])):
+                tasks[pred].add_successor(task)
+        all_tasks = [tasks[n] for n in self.topo_order]
+        heads = [t for t in all_tasks if t.n_deps == 0]
+        return all_tasks, heads, state
+
+
+def parse_dag(spec: Mapping[str, Any], bindings: Mapping[str, Callable] | None = None) -> DagProgram:
+    """Validate and parse a (spec, bindings) pair into a :class:`DagProgram`.
+
+    This is the functional half of what the daemon does on an ``arrival``
+    event in DAG mode; the *time* it takes is charged separately by the
+    runtime from :class:`~repro.runtime.config.RuntimeCosts`.
+    """
+    # bindings=None skips the binding-presence check (timing-only specs or
+    # pure-kernel DAGs); an explicit mapping must cover every cpu_op node.
+    validate_spec(spec, bindings)
+    bindings = bindings or {}
+    nodes = spec["nodes"]
+    # Kahn order, deterministic by insertion order of the frontier.
+    indeg = {n: len(set(node.get("after", []))) for n, node in nodes.items()}
+    succs: dict[str, list[str]] = {n: [] for n in nodes}
+    for n, node in nodes.items():
+        for pred in set(node.get("after", [])):
+            succs[pred].append(n)
+    frontier = [n for n, d in indeg.items() if d == 0]
+    topo: list[str] = []
+    while frontier:
+        n = frontier.pop(0)
+        topo.append(n)
+        for s in succs[n]:
+            indeg[s] -= 1
+            if indeg[s] == 0:
+                frontier.append(s)
+    return DagProgram(name=spec["name"], spec=spec, bindings=dict(bindings), topo_order=topo)

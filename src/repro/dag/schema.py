@@ -1,0 +1,123 @@
+"""JSON DAG schema and validation for DAG-based CEDR applications.
+
+Baseline CEDR consumes a pair of artifacts per application: a shared-object
+binary holding the node functions and a JSON file capturing "temporal
+dependencies between nodes and high level control flow".  Our analogue is a
+JSON-compatible ``spec`` dict (everything below) plus a ``bindings`` dict
+mapping ``cpu_op`` node names to Python callables - the stand-in for the
+shared object's symbols.
+
+Spec format::
+
+    {
+      "name": "pulse_doppler",
+      "nodes": {
+        "<node>": {
+          "api": "fft" | "ifft" | "zip" | "gemm" | "cpu_op",
+          "params": {...},          # timing-model size parameters
+          "inputs": ["key", ...],   # state-dict keys read (kernel nodes)
+          "output": "key",          # state-dict key written (kernel nodes)
+          "after": ["<node>", ...]  # predecessor node names
+        }, ...
+      }
+    }
+
+``cpu_op`` nodes omit inputs/output and instead take their callable from
+``bindings``; their ``params`` must carry ``work_1ghz`` for the timing
+model.  Validation rejects unknown APIs, dangling edges, duplicate outputs
+racing on one key, and cycles (the format is a DAG by construction - the
+very limitation Fig. 2 of the paper is about).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from repro.platforms.pe import CPU_ONLY_API
+from repro.kernels.registry import supported_apis
+
+__all__ = ["DagValidationError", "validate_spec", "KNOWN_APIS"]
+
+#: APIs a DAG node may carry: every kernel API plus the cpu_op escape hatch.
+KNOWN_APIS = frozenset(supported_apis()) | {CPU_ONLY_API}
+
+
+class DagValidationError(ValueError):
+    """Raised when a DAG spec violates the schema."""
+
+
+def validate_spec(spec: Mapping[str, Any], bindings: Mapping[str, Callable] | None = None) -> None:
+    """Validate *spec* (and cpu_op *bindings* when provided); raise on error."""
+    if not isinstance(spec, Mapping):
+        raise DagValidationError(f"spec must be a mapping, got {type(spec).__name__}")
+    name = spec.get("name")
+    if not isinstance(name, str) or not name:
+        raise DagValidationError("spec needs a non-empty 'name'")
+    nodes = spec.get("nodes")
+    if not isinstance(nodes, Mapping) or not nodes:
+        raise DagValidationError(f"spec {name!r} needs a non-empty 'nodes' mapping")
+
+    for node_name, node in nodes.items():
+        ctx = f"node {node_name!r} of {name!r}"
+        if not isinstance(node, Mapping):
+            raise DagValidationError(f"{ctx} must be a mapping")
+        api = node.get("api")
+        if api not in KNOWN_APIS:
+            raise DagValidationError(f"{ctx} has unknown api {api!r}; known: {sorted(KNOWN_APIS)}")
+        params = node.get("params", {})
+        if not isinstance(params, Mapping):
+            raise DagValidationError(f"{ctx} params must be a mapping")
+        for pred in node.get("after", []):
+            if pred not in nodes:
+                raise DagValidationError(f"{ctx} depends on unknown node {pred!r}")
+            if pred == node_name:
+                raise DagValidationError(f"{ctx} depends on itself")
+        if api == CPU_ONLY_API:
+            if "work_1ghz" not in params:
+                raise DagValidationError(f"{ctx} (cpu_op) needs params['work_1ghz']")
+            if bindings is not None and node_name not in bindings:
+                raise DagValidationError(f"{ctx} (cpu_op) has no binding callable")
+        else:
+            inputs = node.get("inputs")
+            if not inputs or not all(isinstance(k, str) for k in inputs):
+                raise DagValidationError(f"{ctx} (kernel) needs non-empty string 'inputs'")
+            if not isinstance(node.get("output"), str):
+                raise DagValidationError(f"{ctx} (kernel) needs a string 'output'")
+
+    _check_output_races(name, nodes)
+    _check_acyclic(name, nodes)
+
+
+def _check_output_races(name: str, nodes: Mapping[str, Any]) -> None:
+    writers: dict[str, str] = {}
+    for node_name, node in nodes.items():
+        out = node.get("output")
+        if out is None:
+            continue
+        if out in writers:
+            raise DagValidationError(
+                f"nodes {writers[out]!r} and {node_name!r} of {name!r} both write "
+                f"state key {out!r}"
+            )
+        writers[out] = node_name
+
+
+def _check_acyclic(name: str, nodes: Mapping[str, Any]) -> None:
+    """Kahn's algorithm; DAG specs must be cycle-free by definition."""
+    indeg = {n: len(set(node.get("after", []))) for n, node in nodes.items()}
+    succs: dict[str, list[str]] = {n: [] for n in nodes}
+    for n, node in nodes.items():
+        for pred in set(node.get("after", [])):
+            succs[pred].append(n)
+    frontier = [n for n, d in indeg.items() if d == 0]
+    seen = 0
+    while frontier:
+        n = frontier.pop()
+        seen += 1
+        for s in succs[n]:
+            indeg[s] -= 1
+            if indeg[s] == 0:
+                frontier.append(s)
+    if seen != len(nodes):
+        cyclic = sorted(n for n, d in indeg.items() if d > 0)
+        raise DagValidationError(f"spec {name!r} contains a cycle involving {cyclic}")

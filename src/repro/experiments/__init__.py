@@ -1,0 +1,31 @@
+"""Experiment drivers: one per evaluation figure of the paper.
+
+Each ``run_figN`` function regenerates the data series behind the
+corresponding figure panel(s); the ``benchmarks/`` tree wraps them with
+pytest-benchmark and prints the series tables.
+"""
+
+from .common import RateSweep, run_once, run_trials, sweep_rates
+from .fig5_runtime_overhead import SATURATION_MBPS, run_fig5, saturated_reduction
+from .fig67_exec_sched import run_fig6_fig7
+from .fig8_jetson import run_fig8
+from .fig9_versatility import av_workload_scaled, run_fig9
+from .fig10_scalability import JETSON_RATE_MBPS, ZCU_RATE_MBPS, run_fig10a, run_fig10b
+
+__all__ = [
+    "run_once",
+    "run_trials",
+    "sweep_rates",
+    "RateSweep",
+    "run_fig5",
+    "saturated_reduction",
+    "SATURATION_MBPS",
+    "run_fig6_fig7",
+    "run_fig8",
+    "run_fig9",
+    "av_workload_scaled",
+    "run_fig10a",
+    "run_fig10b",
+    "ZCU_RATE_MBPS",
+    "JETSON_RATE_MBPS",
+]

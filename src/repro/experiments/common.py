@@ -1,0 +1,115 @@
+"""Shared experiment machinery: single runs, trials, and rate sweeps.
+
+Every figure driver funnels through :func:`run_once`: build the platform,
+start a CEDR runtime with the requested scheduler/mode, submit the workload
+at the requested injection rate, run the simulation to completion, and
+extract a :class:`~repro.metrics.RunResult`.  Sweeps layer trials and rate
+grids on top.
+
+Figure benchmarks run timing-only (``execute=False``): kernels are not
+numerically evaluated, which changes nothing about queueing or contention
+(all costs come from the timing model) but keeps full sweeps fast.
+Integration tests run the same paths with ``execute=True`` to pin the
+functional behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.metrics import RunResult, TrialStats, aggregate_trials
+from repro.platforms import PlatformConfig
+from repro.runtime import CedrRuntime, RuntimeConfig
+from repro.workload import WorkloadSpec
+
+__all__ = ["run_once", "run_trials", "RateSweep", "sweep_rates"]
+
+
+def run_once(
+    platform: PlatformConfig,
+    workload: WorkloadSpec,
+    mode: str,
+    rate_mbps: float,
+    scheduler: str,
+    seed: int = 0,
+    execute: bool = False,
+    config: Optional[RuntimeConfig] = None,
+) -> RunResult:
+    """One complete simulated run; returns its measurements."""
+    if config is None:
+        config = RuntimeConfig(scheduler=scheduler, execute_kernels=execute)
+    else:
+        config = config.with_scheduler(scheduler)
+    instance = platform.build(seed=seed)
+    runtime = CedrRuntime(instance, config)
+    runtime.start()
+    for app, arrival in workload.instantiate(mode, rate_mbps, seed):
+        runtime.submit(app, at=arrival)
+    runtime.seal()
+    runtime.run()
+    return RunResult.from_runtime(runtime)
+
+
+def run_trials(
+    platform: PlatformConfig,
+    workload: WorkloadSpec,
+    mode: str,
+    rate_mbps: float,
+    scheduler: str,
+    trials: int = 3,
+    base_seed: int = 0,
+    execute: bool = False,
+    config: Optional[RuntimeConfig] = None,
+) -> list[RunResult]:
+    """Repeat :func:`run_once` over ``trials`` seeds (paper: 25 trials)."""
+    if trials < 1:
+        raise ValueError(f"need at least one trial, got {trials}")
+    return [
+        run_once(
+            platform, workload, mode, rate_mbps, scheduler,
+            seed=base_seed + 1000 * t, execute=execute, config=config,
+        )
+        for t in range(trials)
+    ]
+
+
+@dataclass(frozen=True)
+class RateSweep:
+    """Aggregated metric statistics across an injection-rate grid."""
+
+    rates: tuple[float, ...]
+    #: metric name -> per-rate TrialStats, aligned with ``rates``
+    stats: dict[str, tuple[TrialStats, ...]]
+
+    def series(self, metric: str) -> tuple[tuple[float, ...], tuple[float, ...]]:
+        """(xs, mean ys) for one metric - plot-ready."""
+        per_rate = self.stats[metric]
+        return self.rates, tuple(s.mean for s in per_rate)
+
+
+def sweep_rates(
+    platform: PlatformConfig,
+    workload: WorkloadSpec,
+    mode: str,
+    rates: Sequence[float],
+    scheduler: str,
+    trials: int = 3,
+    base_seed: int = 0,
+    execute: bool = False,
+    config: Optional[RuntimeConfig] = None,
+) -> RateSweep:
+    """Run the workload across an injection-rate grid with trials."""
+    rates = tuple(float(r) for r in rates)
+    per_metric: dict[str, list[TrialStats]] = {}
+    for rate in rates:
+        results = run_trials(
+            platform, workload, mode, rate, scheduler,
+            trials=trials, base_seed=base_seed, execute=execute, config=config,
+        )
+        for name, stat in aggregate_trials(results).items():
+            per_metric.setdefault(name, []).append(stat)
+    return RateSweep(
+        rates=rates,
+        stats={name: tuple(stats) for name, stats in per_metric.items()},
+    )

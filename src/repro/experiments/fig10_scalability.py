@@ -1,0 +1,93 @@
+"""Fig. 10 - scalability of API-CEDR over the PE pool size.
+
+Setup (paper Section IV-C): the autonomous-vehicle workload at a fixed,
+oversubscribed injection rate; (a) the ZCU102 with 3 CPUs and 0-8 FFT
+accelerators at 300 Mbps, (b) the Jetson with 1-7 CPU workers plus the GPU
+at 500 Mbps.
+
+Expected reproduction:
+
+* (a) the *least* execution time occurs with 0 FFT accelerators and grows
+  monotonically with FFT count - every accelerator adds a CPU-hungry
+  management thread to the 3 shared ARM cores; RR degrades fastest (it
+  spreads onto every PE), EFT does better, ETF/HEFT_RT best with HEFT_RT
+  narrowly ahead;
+* (b) execution time is polynomial in CPU-worker count with a minimum near
+  5 CPUs + 1 GPU: added workers first buy concurrency, then start crowding
+  the application threads that CEDR-API launches across all 7 cores.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.metrics import FigureSeries, TrialStats
+from repro.platforms import jetson, zcu102
+from repro.sched import PAPER_SCHEDULERS
+
+from .common import run_trials
+from .fig9_versatility import av_workload_scaled
+
+__all__ = ["run_fig10a", "run_fig10b", "ZCU_RATE_MBPS", "JETSON_RATE_MBPS"]
+
+#: fixed oversubscribed rates from the paper
+ZCU_RATE_MBPS = 300.0
+JETSON_RATE_MBPS = 500.0
+
+
+def _sweep_configs(platforms, workload, rate, schedulers, trials, seed):
+    """{scheduler: [mean exec time per config]} over a platform list."""
+    out: dict[str, list[float]] = {s: [] for s in schedulers}
+    for platform in platforms:
+        for scheduler in schedulers:
+            results = run_trials(
+                platform, workload, "api", rate, scheduler,
+                trials=trials, base_seed=seed,
+            )
+            stat = TrialStats.from_samples([r.mean_exec_time for r in results])
+            out[scheduler].append(stat.mean)
+    return out
+
+
+def run_fig10a(
+    fft_counts: Optional[Sequence[int]] = None,
+    trials: int = 1,
+    seed: int = 0,
+    schedulers: Sequence[str] = PAPER_SCHEDULERS,
+    ld_batch: int = 64,
+) -> FigureSeries:
+    """Regenerate Fig. 10(a): ZCU102, 3 CPUs + varying FFT count."""
+    fft_counts = list(fft_counts) if fft_counts is not None else [0, 1, 2, 4, 8]
+    workload = av_workload_scaled(ld_batch=ld_batch)
+    platforms = [zcu102(n_cpu=3, n_fft=n) for n in fft_counts]
+    series = _sweep_configs(platforms, workload, ZCU_RATE_MBPS, schedulers, trials, seed)
+    fig = FigureSeries(
+        "fig10a",
+        f"Execution time vs PE pool (ZCU102 3 CPU + N FFT, {ZCU_RATE_MBPS:.0f} Mbps)",
+        "FFT accelerator count", "execution time per app (s)",
+    )
+    for scheduler in schedulers:
+        fig.add(scheduler.upper(), [float(n) for n in fft_counts], series[scheduler])
+    return fig
+
+
+def run_fig10b(
+    cpu_counts: Optional[Sequence[int]] = None,
+    trials: int = 1,
+    seed: int = 0,
+    schedulers: Sequence[str] = PAPER_SCHEDULERS,
+    ld_batch: int = 64,
+) -> FigureSeries:
+    """Regenerate Fig. 10(b): Jetson, 1-7 CPU workers + 1 GPU."""
+    cpu_counts = list(cpu_counts) if cpu_counts is not None else [1, 2, 3, 4, 5, 6, 7]
+    workload = av_workload_scaled(ld_batch=ld_batch)
+    platforms = [jetson(n_cpu=n, n_gpu=1) for n in cpu_counts]
+    series = _sweep_configs(platforms, workload, JETSON_RATE_MBPS, schedulers, trials, seed)
+    fig = FigureSeries(
+        "fig10b",
+        f"Execution time vs PE pool (Jetson N CPU + 1 GPU, {JETSON_RATE_MBPS:.0f} Mbps)",
+        "CPU worker count", "execution time per app (s)",
+    )
+    for scheduler in schedulers:
+        fig.add(scheduler.upper(), [float(n) for n in cpu_counts], series[scheduler])
+    return fig

@@ -1,0 +1,67 @@
+"""Fig. 5 - runtime overhead of API-based vs DAG-based CEDR.
+
+Setup (paper Section IV-A): 5x Pulse Doppler + 5x WiFi TX on the ZCU102
+with 3 ARM cores and 1 FFT accelerator, swept over injection rates.  The
+metric is the paper's *runtime overhead*: main-thread time spent receiving,
+managing, and terminating applications, excluding scheduling, normalized
+per application.
+
+Expected reproduction: both curves decrease with injection rate and
+saturate around 200 Mbps; in the saturated region the API-based runtime
+shows a reduction of roughly the paper's 19.52% relative to DAG-based
+(ours lands in the 15-30% band; EXPERIMENTS.md records the exact number).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.metrics import FigureSeries, saturated_mean
+from repro.platforms import zcu102
+from repro.workload import radar_comms_workload, reduced_injection_rates
+
+from .common import sweep_rates
+
+__all__ = ["run_fig5", "SATURATION_MBPS"]
+
+#: injection rate beyond which the paper calls the system oversubscribed
+SATURATION_MBPS = 200.0
+
+
+def run_fig5(
+    rates: Optional[Sequence[float]] = None,
+    trials: int = 2,
+    seed: int = 0,
+    scheduler: str = "rr",
+) -> FigureSeries:
+    """Regenerate Fig. 5; returns one panel with a DAG and an API series."""
+    rates = list(rates) if rates is not None else list(reduced_injection_rates())
+    platform = zcu102(n_cpu=3, n_fft=1)
+    workload = radar_comms_workload()
+    fig = FigureSeries(
+        figure="fig5",
+        title="Runtime overhead in API and DAG-based CEDR "
+              "(ZCU102 3 CPU + 1 FFT, 5xPD + 5xTX)",
+        x_label="injection rate (Mbps)",
+        y_label="runtime overhead per app (s)",
+    )
+    for mode, label in (("dag", "DAG-based"), ("api", "API-based")):
+        sweep = sweep_rates(
+            platform, workload, mode, rates, scheduler, trials=trials, base_seed=seed
+        )
+        xs, ys = sweep.series("runtime_overhead")
+        fig.add(label, xs, ys)
+    return fig
+
+
+def saturated_reduction(fig: FigureSeries, x_from: float = SATURATION_MBPS) -> float:
+    """Fractional API-vs-DAG overhead reduction over the saturated region
+    (the paper quotes 19.52%)."""
+    dag = fig.get("DAG-based")
+    api = fig.get("API-based")
+    dag_mean = saturated_mean(dag.xs, dag.ys, x_from)
+    api_mean = saturated_mean(api.xs, api.ys, x_from)
+    return (dag_mean - api_mean) / dag_mean
+
+
+__all__.append("saturated_reduction")

@@ -1,0 +1,76 @@
+"""Figs 6 and 7 - execution time and scheduling overhead vs injection rate.
+
+Setup (paper Section IV-A): 5x Pulse Doppler + 5x WiFi TX on the ZCU102
+with 3 ARM cores, 1 FFT, and 1 MMULT accelerator; all four schedulers; both
+runtimes.  Fig. 6 plots average execution time per application, Fig. 7 the
+average scheduling overhead per application - both from the *same* runs, so
+this module produces all four panels from one sweep set:
+
+* fig6a - DAG execution time, fig6b - API execution time;
+* fig7a - DAG scheduling overhead, fig7b - API scheduling overhead.
+
+Expected reproduction (saturated region):
+
+* ETF is the outlier in both modes: its DAG-mode scheduling overhead is
+  tens of ms/app (paper ~70 ms), collapsing by >1 order of magnitude in
+  API mode (paper 1.15 ms) because the API ready queue holds only
+  in-flight libCEDR calls;
+* ETF's DAG execution time (~700 ms in the paper) far exceeds the other
+  schedulers (~200 ms), and drops substantially in API mode;
+* non-ETF API execution time sits *above* its DAG counterpart (thread
+  contention on the 3-core ZCU102; paper 350 vs 200 ms).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.metrics import FigureSeries
+from repro.platforms import zcu102
+from repro.sched import PAPER_SCHEDULERS
+from repro.workload import radar_comms_workload, reduced_injection_rates
+
+from .common import sweep_rates
+
+__all__ = ["run_fig6_fig7"]
+
+
+def run_fig6_fig7(
+    rates: Optional[Sequence[float]] = None,
+    trials: int = 2,
+    seed: int = 0,
+    schedulers: Sequence[str] = PAPER_SCHEDULERS,
+) -> dict[str, FigureSeries]:
+    """Regenerate Figs 6(a,b) and 7(a,b); returns {panel id: FigureSeries}."""
+    rates = list(rates) if rates is not None else list(reduced_injection_rates())
+    platform = zcu102(n_cpu=3, n_fft=1, n_mmult=1)
+    workload = radar_comms_workload()
+
+    panels = {
+        "fig6a": FigureSeries(
+            "fig6a", "Execution time, DAG-based CEDR (ZCU102 3C+1FFT+1MMULT)",
+            "injection rate (Mbps)", "execution time per app (s)",
+        ),
+        "fig6b": FigureSeries(
+            "fig6b", "Execution time, API-based CEDR (ZCU102 3C+1FFT+1MMULT)",
+            "injection rate (Mbps)", "execution time per app (s)",
+        ),
+        "fig7a": FigureSeries(
+            "fig7a", "Scheduling overhead, DAG-based CEDR (ZCU102 3C+1FFT+1MMULT)",
+            "injection rate (Mbps)", "scheduling overhead per app (s)",
+        ),
+        "fig7b": FigureSeries(
+            "fig7b", "Scheduling overhead, API-based CEDR (ZCU102 3C+1FFT+1MMULT)",
+            "injection rate (Mbps)", "scheduling overhead per app (s)",
+        ),
+    }
+    for mode, exec_panel, sched_panel in (("dag", "fig6a", "fig7a"), ("api", "fig6b", "fig7b")):
+        for scheduler in schedulers:
+            sweep = sweep_rates(
+                platform, workload, mode, rates, scheduler, trials=trials, base_seed=seed
+            )
+            xs, ys = sweep.series("exec_time")
+            panels[exec_panel].add(scheduler.upper(), xs, ys)
+            xs, ys = sweep.series("sched_overhead")
+            panels[sched_panel].add(scheduler.upper(), xs, ys)
+    return panels

@@ -1,0 +1,53 @@
+"""Fig. 8 - execution time on the Jetson AGX Xavier, DAG vs API.
+
+Setup (paper Section IV-A): the same 5x PD + 5x TX workload on the Jetson
+with 3 CPU worker PEs and the GPU.  With 7 physical worker-pool cores, the
+API runtime's application threads spread onto the cores the DAG runtime's
+3+1 worker threads leave idle, so - opposite to the ZCU102 - API-based
+execution times come out *below* DAG-based ones.
+
+Panels: fig8a (DAG) and fig8b (API), one series per scheduler.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.metrics import FigureSeries
+from repro.platforms import jetson
+from repro.sched import PAPER_SCHEDULERS
+from repro.workload import radar_comms_workload, reduced_injection_rates
+
+from .common import sweep_rates
+
+__all__ = ["run_fig8"]
+
+
+def run_fig8(
+    rates: Optional[Sequence[float]] = None,
+    trials: int = 2,
+    seed: int = 0,
+    schedulers: Sequence[str] = PAPER_SCHEDULERS,
+) -> dict[str, FigureSeries]:
+    """Regenerate Fig. 8(a,b); returns {panel id: FigureSeries}."""
+    rates = list(rates) if rates is not None else list(reduced_injection_rates())
+    platform = jetson(n_cpu=3, n_gpu=1)
+    workload = radar_comms_workload()
+    panels = {
+        "fig8a": FigureSeries(
+            "fig8a", "Execution time, DAG-based CEDR (Jetson 3 CPU + 1 GPU)",
+            "injection rate (Mbps)", "execution time per app (s)",
+        ),
+        "fig8b": FigureSeries(
+            "fig8b", "Execution time, API-based CEDR (Jetson 3 CPU + 1 GPU)",
+            "injection rate (Mbps)", "execution time per app (s)",
+        ),
+    }
+    for mode, panel in (("dag", "fig8a"), ("api", "fig8b")):
+        for scheduler in schedulers:
+            sweep = sweep_rates(
+                platform, workload, mode, rates, scheduler, trials=trials, base_seed=seed
+            )
+            xs, ys = sweep.series("exec_time")
+            panels[panel].add(scheduler.upper(), xs, ys)
+    return panels

@@ -1,0 +1,75 @@
+"""Fig. 9 - the autonomous-vehicle workload on both platforms (API-CEDR).
+
+Setup (paper Section IV-B): one long-latency Lane Detection instance plus
+dynamically arriving Pulse Doppler and WiFi TX instances, executed by
+API-based CEDR on (a) the ZCU102 scaled up to 8 FFT accelerators and
+(b) the Jetson with 7 CPU workers + GPU, swept over injection rates.
+
+Expected reproduction: execution time rises to saturation earlier than the
+lighter Fig. 6 workload (paper: ~100 Mbps on the ZCU102); the Jetson copes
+far better (paper: saturated ~600-700 ms vs ~2000 ms on the ZCU102); RR is
+the worst scheduler on both platforms because it cannot exploit the larger
+heterogeneous pool.
+
+Lane Detection's 1-D FFT rows are batched ``batch`` rows per task (default
+64) to keep the sweep tractable; ``batch=1`` is the paper's granularity
+(see DESIGN.md scale note).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.apps import LaneDetection, PulseDoppler, WifiTx
+from repro.metrics import FigureSeries
+from repro.platforms import jetson, zcu102
+from repro.sched import PAPER_SCHEDULERS
+from repro.workload import autonomous_vehicle_workload, paper_injection_rates
+
+from .common import sweep_rates
+
+__all__ = ["run_fig9", "av_workload_scaled"]
+
+
+def av_workload_scaled(ld_batch: int = 64, app_batch: int = 4):
+    """The autonomous-vehicle workload with adjustable task granularity.
+
+    ``app_batch`` groups PD/TX kernel rows (paper granularity is 1) - the
+    heavy LD workload makes batch=1 sweeps expensive, and the Fig. 9/10
+    trends are insensitive to PD/TX granularity.
+    """
+    return autonomous_vehicle_workload(
+        ld=LaneDetection(batch=ld_batch),
+        pd=PulseDoppler(batch=app_batch),
+        tx=WifiTx(batch=app_batch),
+    )
+
+
+def run_fig9(
+    rates: Optional[Sequence[float]] = None,
+    trials: int = 1,
+    seed: int = 0,
+    schedulers: Sequence[str] = PAPER_SCHEDULERS,
+    ld_batch: int = 64,
+) -> dict[str, FigureSeries]:
+    """Regenerate Fig. 9(a,b); returns {panel id: FigureSeries}."""
+    rates = list(rates) if rates is not None else list(paper_injection_rates(n=6))
+    workload = av_workload_scaled(ld_batch=ld_batch)
+    panels = {
+        "fig9a": FigureSeries(
+            "fig9a", "Execution time, API-CEDR, AV workload (ZCU102 3 CPU + 8 FFT)",
+            "injection rate (Mbps)", "execution time per app (s)",
+        ),
+        "fig9b": FigureSeries(
+            "fig9b", "Execution time, API-CEDR, AV workload (Jetson 7 CPU + 1 GPU)",
+            "injection rate (Mbps)", "execution time per app (s)",
+        ),
+    }
+    for platform, panel in ((zcu102(n_cpu=3, n_fft=8), "fig9a"), (jetson(n_cpu=7), "fig9b")):
+        for scheduler in schedulers:
+            sweep = sweep_rates(
+                platform, workload, "api", rates, scheduler, trials=trials, base_seed=seed
+            )
+            xs, ys = sweep.series("exec_time")
+            panels[panel].add(scheduler.upper(), xs, ys)
+    return panels

@@ -1,0 +1,10 @@
+"""Compute kernels: the functional payloads behind every libCEDR API.
+
+Submodules group kernels by domain (FFT, ZIP, GEMM, convolution, WiFi
+baseband, Pulse-Doppler radar, lane-detection vision); ``registry`` maps
+(API, PE kind) pairs onto concrete implementations for the runtime.
+"""
+
+from . import conv2d, fft, mmult, radar, registry, vision, wifi, zip_
+
+__all__ = ["fft", "zip_", "mmult", "conv2d", "wifi", "radar", "vision", "registry"]

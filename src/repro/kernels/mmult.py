@@ -1,0 +1,70 @@
+"""GEMM kernel backing the MMULT accelerator PE.
+
+The ZCU102 configurations in the paper's Fig. 6/7 include one MMULT
+accelerator.  :func:`gemm` is the production implementation; the explicitly
+looped/blocked :func:`gemm_blocked` exists as an independently-written
+reference that tests use to validate it (and as the stand-in for the naive
+portable-C path a real libCEDR module would ship).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["gemm", "gemm_blocked"]
+
+
+def gemm(
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray | None = None,
+    alpha: float = 1.0,
+    beta: float = 0.0,
+) -> np.ndarray:
+    """General matrix multiply: ``alpha * a @ b + beta * c``.
+
+    ``a`` is (m, k), ``b`` is (k, n); ``c`` when given must be (m, n) and is
+    never modified in place.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.ndim != 2 or b.ndim != 2:
+        raise ValueError(f"gemm expects 2-D operands, got {a.ndim}-D and {b.ndim}-D")
+    if a.shape[1] != b.shape[0]:
+        raise ValueError(f"inner dimensions disagree: {a.shape} @ {b.shape}")
+    out = alpha * (a @ b)
+    if beta != 0.0:
+        if c is None:
+            raise ValueError("beta != 0 requires a c operand")
+        c = np.asarray(c)
+        if c.shape != out.shape:
+            raise ValueError(f"c has shape {c.shape}, expected {out.shape}")
+        out = out + beta * c
+    return out
+
+
+def gemm_blocked(a: np.ndarray, b: np.ndarray, block: int = 32) -> np.ndarray:
+    """Cache-blocked matrix multiply written without ``@``.
+
+    Kept deliberately independent of :func:`gemm` so the two can validate
+    each other; the block loop mirrors how the fabric MMULT IP tiles its
+    operand streams.
+    """
+    a = np.asarray(a, dtype=np.result_type(a, b, np.float64))
+    b = np.asarray(b, dtype=a.dtype)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ValueError(f"bad operand shapes: {a.shape} @ {b.shape}")
+    m, k = a.shape
+    n = b.shape[1]
+    out = np.zeros((m, n), dtype=a.dtype)
+    for i0 in range(0, m, block):
+        for j0 in range(0, n, block):
+            acc = np.zeros((min(block, m - i0), min(block, n - j0)), dtype=a.dtype)
+            for k0 in range(0, k, block):
+                a_blk = a[i0 : i0 + block, k0 : k0 + block]
+                b_blk = b[k0 : k0 + block, j0 : j0 + block]
+                # einsum keeps this a true triple loop semantically while
+                # staying vectorized per block.
+                acc += np.einsum("ik,kj->ij", a_blk, b_blk)
+            out[i0 : i0 + block, j0 : j0 + block] = acc
+    return out

@@ -1,0 +1,82 @@
+"""Functional implementation registry: (API name, PE kind) -> callable.
+
+This is the kernel-level truth table the libCEDR *module* layer
+(:mod:`repro.core.modules`) draws from.  Each entry maps an abstract libCEDR
+API onto the concrete function that PE kind would run: the portable
+from-scratch implementations for CPUs, and the ``numpy.fft``-backed
+"IP core"/"CUDA" implementations for accelerators.  All implementations of
+one API are functionally equivalent (asserted by tests to 1e-8); they differ
+only in provenance and in the cost the timing model charges - exactly the
+property the paper requires so the scheduler may remap tasks freely.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.platforms.pe import PEKind
+
+from . import fft as _fft_mod
+from .conv2d import conv2d_spatial
+from .mmult import gemm
+from .zip_ import zip_product
+
+__all__ = ["KERNEL_IMPLS", "implementation_for", "supported_apis", "apis_for_kind"]
+
+
+def _gemm_pair(args: tuple[np.ndarray, np.ndarray]) -> np.ndarray:
+    a, b = args
+    return gemm(a, b)
+
+
+def _zip_pair(args: tuple[np.ndarray, np.ndarray]) -> np.ndarray:
+    a, b = args
+    return zip_product(a, b)
+
+
+#: (api, PE kind) -> unary callable. Every callable takes the task payload
+#: (an ndarray, or a tuple of ndarrays for binary APIs) and returns the
+#: result array.
+KERNEL_IMPLS: dict[tuple[str, PEKind], Callable] = {
+    # FFT family -------------------------------------------------------- #
+    ("fft", PEKind.CPU): _fft_mod.fft,
+    ("fft", PEKind.FFT): _fft_mod.fft_accel,
+    ("fft", PEKind.GPU): _fft_mod.fft_accel,
+    ("ifft", PEKind.CPU): _fft_mod.ifft,
+    ("ifft", PEKind.FFT): _fft_mod.ifft_accel,
+    ("ifft", PEKind.GPU): _fft_mod.ifft_accel,
+    # ZIP ---------------------------------------------------------------- #
+    ("zip", PEKind.CPU): _zip_pair,
+    ("zip", PEKind.GPU): _zip_pair,
+    # GEMM ---------------------------------------------------------------- #
+    ("gemm", PEKind.CPU): _gemm_pair,
+    ("gemm", PEKind.MMULT): _gemm_pair,
+    # direct 2-D convolution (CPU-only; the apps' FFT-domain convolutions
+    # decompose into fft/zip/ifft instead, per the paper's LD design)
+    ("conv2d", PEKind.CPU): lambda args: conv2d_spatial(args[0], args[1]),
+}
+
+
+def implementation_for(api: str, kind: PEKind) -> Callable:
+    """The concrete function PE kind *kind* runs for *api*.
+
+    Raises ``KeyError`` with a helpful message when no implementation is
+    registered - the runtime treats that as "this PE does not support the
+    API" during its startup mapping pass.
+    """
+    try:
+        return KERNEL_IMPLS[(api, kind)]
+    except KeyError:
+        raise KeyError(f"no {kind.value} implementation registered for API {api!r}") from None
+
+
+def supported_apis() -> frozenset[str]:
+    """All API names with at least one registered implementation."""
+    return frozenset(api for api, _ in KERNEL_IMPLS)
+
+
+def apis_for_kind(kind: PEKind) -> frozenset[str]:
+    """APIs this PE kind can execute functionally."""
+    return frozenset(api for api, k in KERNEL_IMPLS if k is kind)

@@ -1,0 +1,193 @@
+"""Image-processing kernels for the Lane Detection application.
+
+Lane Detection is the paper's autonomous-vehicle workload: a
+"convolution intensive routine" that performs its convolutions in the
+frequency domain (FFT + ZIP) per the Abtahi et al. reference.  The kernels
+here provide the surrounding pipeline: synthetic road-scene generation (we
+have no camera), grayscale conversion, the Gaussian/derivative kernels the
+convolutions use, gradient-magnitude thresholding, region-of-interest
+masking, and a vectorized Hough-transform line fit that turns the edge map
+into left/right lane-line estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "synthesize_road_frame",
+    "to_grayscale",
+    "gaussian_kernel",
+    "sobel_kernels",
+    "gradient_magnitude",
+    "threshold_edges",
+    "roi_mask",
+    "hough_lines",
+    "LaneEstimate",
+    "extract_lanes",
+]
+
+
+def synthesize_road_frame(
+    height: int,
+    width: int,
+    rng: np.random.Generator,
+    lane_offset: float = 0.25,
+    noise: float = 0.05,
+) -> np.ndarray:
+    """Generate an RGB road scene with two bright lane markings.
+
+    Stand-in for the paper's camera input: a dark roadway with two lane
+    lines converging toward a vanishing point near the image center, plus
+    sensor noise.  Returns float RGB in [0, 1], shape (height, width, 3).
+    """
+    if height < 16 or width < 16:
+        raise ValueError(f"frame too small: {height}x{width}")
+    img = np.full((height, width, 3), 0.18)
+    img[: height // 3] = 0.55  # sky
+    ys = np.arange(height // 3, height)
+    t = (ys - height // 3) / max(1, height - height // 3)  # 0 at horizon
+    vanish_x = width / 2.0
+    for side in (-1.0, 1.0):
+        xs = vanish_x + side * lane_offset * width * t
+        xs = np.clip(xs, 1, width - 2).astype(int)
+        for dx in (-1, 0, 1):
+            img[ys, np.clip(xs + dx, 0, width - 1)] = np.array([0.95, 0.95, 0.85])
+    img += rng.normal(0.0, noise, img.shape)
+    return np.clip(img, 0.0, 1.0)
+
+
+def to_grayscale(rgb: np.ndarray) -> np.ndarray:
+    """ITU-R BT.601 luma conversion."""
+    rgb = np.asarray(rgb, dtype=np.float64)
+    if rgb.ndim != 3 or rgb.shape[-1] != 3:
+        raise ValueError(f"expected (h, w, 3) RGB image, got {rgb.shape}")
+    return rgb @ np.array([0.299, 0.587, 0.114])
+
+
+def gaussian_kernel(size: int = 5, sigma: float = 1.0) -> np.ndarray:
+    """Normalized 2-D Gaussian blur kernel."""
+    if size % 2 == 0 or size < 1:
+        raise ValueError(f"kernel size must be odd and positive, got {size}")
+    ax = np.arange(size) - size // 2
+    g = np.exp(-(ax**2) / (2.0 * sigma**2))
+    k = np.outer(g, g)
+    return k / k.sum()
+
+
+def sobel_kernels() -> tuple[np.ndarray, np.ndarray]:
+    """Horizontal and vertical Sobel derivative kernels (gx, gy)."""
+    gx = np.array([[-1.0, 0.0, 1.0], [-2.0, 0.0, 2.0], [-1.0, 0.0, 1.0]])
+    return gx, gx.T.copy()
+
+
+def gradient_magnitude(gx_img: np.ndarray, gy_img: np.ndarray) -> np.ndarray:
+    """Euclidean gradient magnitude from the two derivative responses."""
+    gx_img = np.asarray(gx_img)
+    gy_img = np.asarray(gy_img)
+    if gx_img.shape != gy_img.shape:
+        raise ValueError(f"gradient shapes differ: {gx_img.shape} vs {gy_img.shape}")
+    return np.hypot(gx_img, gy_img)
+
+
+def threshold_edges(magnitude: np.ndarray, quantile: float = 0.95) -> np.ndarray:
+    """Binary edge map keeping the strongest ``1 - quantile`` of pixels."""
+    if not 0.0 < quantile < 1.0:
+        raise ValueError(f"quantile must be in (0, 1), got {quantile}")
+    magnitude = np.asarray(magnitude)
+    cut = np.quantile(magnitude, quantile)
+    return magnitude >= cut
+
+
+def roi_mask(shape: tuple[int, int], horizon: float = 0.4) -> np.ndarray:
+    """Trapezoidal region-of-interest mask covering the roadway.
+
+    Everything above ``horizon`` (fraction of height) is masked out, and
+    the kept region narrows toward the horizon like a camera's view of the
+    lane ahead.
+    """
+    h, w = shape
+    ys, xs = np.mgrid[0:h, 0:w]
+    t = (ys / max(1, h - 1) - horizon) / max(1e-9, 1.0 - horizon)
+    half_width = np.clip(t, 0.0, 1.0) * (w / 2.0)
+    center = w / 2.0
+    return (ys >= horizon * h) & (np.abs(xs - center) <= half_width + 0.05 * w)
+
+
+def hough_lines(
+    edges: np.ndarray,
+    n_theta: int = 90,
+    n_rho: int = 256,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized Hough transform of a binary edge map.
+
+    Returns ``(accumulator, thetas, rhos)``; the accumulator has shape
+    (n_rho, n_theta).  Implemented with one ``np.add.at`` scatter over all
+    edge pixels x all angles - no per-pixel Python loop.
+    """
+    edges = np.asarray(edges, dtype=bool)
+    if edges.ndim != 2:
+        raise ValueError(f"edge map must be 2-D, got {edges.shape}")
+    h, w = edges.shape
+    thetas = np.linspace(-np.pi / 2, np.pi / 2, n_theta, endpoint=False)
+    diag = float(np.hypot(h, w))
+    rhos = np.linspace(-diag, diag, n_rho)
+    ys, xs = np.nonzero(edges)
+    acc = np.zeros((n_rho, n_theta), dtype=np.int64)
+    if ys.size == 0:
+        return acc, thetas, rhos
+    rho_vals = xs[:, None] * np.cos(thetas)[None, :] + ys[:, None] * np.sin(thetas)[None, :]
+    rho_idx = np.clip(
+        np.round((rho_vals + diag) / (2 * diag) * (n_rho - 1)).astype(int), 0, n_rho - 1
+    )
+    theta_idx = np.broadcast_to(np.arange(n_theta)[None, :], rho_idx.shape)
+    np.add.at(acc, (rho_idx.ravel(), theta_idx.ravel()), 1)
+    return acc, thetas, rhos
+
+
+@dataclass(frozen=True)
+class LaneEstimate:
+    """One detected lane line in (rho, theta) normal form plus its votes."""
+
+    rho: float
+    theta: float
+    votes: int
+
+    def x_at(self, y: float) -> float:
+        """X coordinate of this line at row *y* (for overlay/validation)."""
+        s, c = np.sin(self.theta), np.cos(self.theta)
+        if abs(c) < 1e-9:
+            return float("nan")
+        return (self.rho - y * s) / c
+
+
+def extract_lanes(
+    acc: np.ndarray, thetas: np.ndarray, rhos: np.ndarray, min_angle_deg: float = 15.0
+) -> tuple[LaneEstimate | None, LaneEstimate | None]:
+    """Pick the strongest left-leaning and right-leaning lane candidates.
+
+    Lane lines viewed from a dashboard camera are well away from horizontal
+    and vertical; candidates within ``min_angle_deg`` of either are ignored.
+    A side with no votes yields ``None``.
+    """
+    deg = np.degrees(thetas)
+    plausible = (np.abs(deg) > min_angle_deg) & (np.abs(deg) < 90.0 - min_angle_deg)
+    left: LaneEstimate | None = None
+    right: LaneEstimate | None = None
+    for side_sel, is_left in ((deg < 0, True), (deg > 0, False)):
+        sel = plausible & side_sel
+        if not sel.any():
+            continue
+        sub = acc[:, sel]
+        if sub.max() == 0:
+            continue
+        r_i, t_i = np.unravel_index(int(np.argmax(sub)), sub.shape)
+        theta = thetas[np.nonzero(sel)[0][t_i]]
+        est = LaneEstimate(rho=float(rhos[r_i]), theta=float(theta), votes=int(sub.max()))
+        if is_left:
+            left = est
+        else:
+            right = est
+    return left, right

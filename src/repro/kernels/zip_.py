@@ -1,0 +1,36 @@
+"""ZIP kernel: element-wise (Hadamard) product.
+
+ZIP is one of the two accelerator-backed key functions of the paper's
+evaluation ("we use FFT and ZIP as key functions that are supported with
+accelerator based execution", Section III).  Lane Detection uses it for the
+frequency-domain pointwise product of FFT-based convolution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["zip_product", "zip_conj_product"]
+
+
+def zip_product(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Element-wise product ``a * b``.
+
+    Shapes must match exactly - the accelerator streams two equal-length
+    buffers, so no silent broadcasting is allowed here.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape != b.shape:
+        raise ValueError(f"ZIP operands must match in shape: {a.shape} vs {b.shape}")
+    return a * b
+
+
+def zip_conj_product(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Element-wise ``a * conj(b)``, the matched-filter variant used by
+    Pulse Doppler's frequency-domain correlation."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape != b.shape:
+        raise ValueError(f"ZIP operands must match in shape: {a.shape} vs {b.shape}")
+    return a * np.conj(b)

@@ -1,0 +1,18 @@
+"""Measurement, trial statistics, and figure-series reporting."""
+
+from .gantt import render_gantt
+from .measures import RunResult
+from .report import FigureSeries, Series, format_series_table, print_series_table
+from .stats import TrialStats, aggregate_trials, saturated_mean
+
+__all__ = [
+    "RunResult",
+    "render_gantt",
+    "TrialStats",
+    "aggregate_trials",
+    "saturated_mean",
+    "Series",
+    "FigureSeries",
+    "format_series_table",
+    "print_series_table",
+]

@@ -1,0 +1,95 @@
+"""Figure-series reporting: print the rows the paper's plots are drawn from.
+
+Every experiment driver returns a :class:`FigureSeries` collection; the
+benchmarks print them with :func:`print_series_table` so a run's stdout
+contains the same (x, y) data the paper's figures plot - the reproduction's
+"regenerate the figure" deliverable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["Series", "FigureSeries", "print_series_table", "format_series_table"]
+
+
+@dataclass(frozen=True)
+class Series:
+    """One plotted line: label plus (x, y) points."""
+
+    label: str
+    xs: tuple[float, ...]
+    ys: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.xs) != len(self.ys):
+            raise ValueError(
+                f"series {self.label!r}: {len(self.xs)} xs vs {len(self.ys)} ys"
+            )
+
+    def y_at(self, x: float) -> float:
+        """Y value at an exact x grid point."""
+        for xi, yi in zip(self.xs, self.ys):
+            if xi == x:
+                return yi
+        raise KeyError(f"series {self.label!r} has no point at x={x}")
+
+
+@dataclass
+class FigureSeries:
+    """All series of one figure panel plus axis metadata."""
+
+    figure: str               # e.g. "fig5", "fig10a"
+    title: str
+    x_label: str
+    y_label: str
+    series: list[Series] = field(default_factory=list)
+
+    def add(self, label: str, xs: Sequence[float], ys: Sequence[float]) -> None:
+        self.series.append(Series(label, tuple(float(x) for x in xs), tuple(float(y) for y in ys)))
+
+    def get(self, label: str) -> Series:
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise KeyError(f"{self.figure} has no series {label!r}; have {[s.label for s in self.series]}")
+
+    def as_dict(self) -> dict:
+        """JSON-compatible dump for offline plotting."""
+        return {
+            "figure": self.figure,
+            "title": self.title,
+            "x_label": self.x_label,
+            "y_label": self.y_label,
+            "series": [{"label": s.label, "xs": list(s.xs), "ys": list(s.ys)} for s in self.series],
+        }
+
+
+def format_series_table(fig: FigureSeries, y_scale: float = 1.0, y_fmt: str = "{:10.3f}") -> str:
+    """Render one figure panel as an aligned text table.
+
+    ``y_scale`` converts units for display (e.g. 1e3 for seconds -> ms).
+    """
+    if not fig.series:
+        return f"== {fig.figure}: {fig.title} == (no series)"
+    lines = [f"== {fig.figure}: {fig.title} ==", f"   y = {fig.y_label}"]
+    header = f"{fig.x_label:>12s} | " + " | ".join(f"{s.label:>10s}" for s in fig.series)
+    lines.append(header)
+    lines.append("-" * len(header))
+    xs = fig.series[0].xs
+    for s in fig.series[1:]:
+        if s.xs != xs:
+            raise ValueError(f"{fig.figure}: series have mismatched x grids")
+    for i, x in enumerate(xs):
+        row = f"{x:12.1f} | " + " | ".join(
+            y_fmt.format(s.ys[i] * y_scale) for s in fig.series
+        )
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def print_series_table(fig: FigureSeries, y_scale: float = 1.0, y_fmt: str = "{:10.3f}") -> None:
+    """Print the table (benchmarks call this so stdout carries the data)."""
+    print()
+    print(format_series_table(fig, y_scale=y_scale, y_fmt=y_fmt))

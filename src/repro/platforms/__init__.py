@@ -1,0 +1,40 @@
+"""Emulated DSSoC platforms: PEs, timing models, ZCU102 and Jetson presets."""
+
+from .pe import CPU_ONLY_API, PE, PEDescriptor, PEKind, SUPPORT_MATRIX
+from .platform import (
+    PlatformConfig,
+    PlatformInstance,
+    jetson,
+    zcu102,
+    zcu102_biglittle,
+)
+from .energy import (
+    JETSON_POWER,
+    ZCU102_POWER,
+    EnergyBreakdown,
+    PowerModel,
+    estimate_energy,
+)
+from .timing import AccelCost, TimingModel, jetson_timing, zcu102_timing
+
+__all__ = [
+    "PE",
+    "PEDescriptor",
+    "PEKind",
+    "SUPPORT_MATRIX",
+    "CPU_ONLY_API",
+    "PlatformConfig",
+    "PlatformInstance",
+    "zcu102",
+    "zcu102_biglittle",
+    "jetson",
+    "TimingModel",
+    "AccelCost",
+    "zcu102_timing",
+    "jetson_timing",
+    "PowerModel",
+    "EnergyBreakdown",
+    "estimate_energy",
+    "ZCU102_POWER",
+    "JETSON_POWER",
+]

@@ -1,0 +1,231 @@
+"""Calibrated per-kernel cost model for the emulated platforms.
+
+The paper measures wall-clock on real silicon; this reproduction charges
+simulated time from the analytic model below.  Coefficients are expressed
+in *cycles* (so clock rates translate them to seconds) plus DMA/memcpy
+per-byte costs.  Magnitudes sit in the envelope of published numbers for
+these devices and were calibrated end-to-end so the saturated-region values
+of Figs 5-10 land near the paper's (EXPERIMENTS.md records the
+paper-vs-measured comparison); the *shape* of every figure comes from the
+queueing/contention mechanics, not from these constants.
+
+Accelerator dispatch model - the load-bearing calibration choice
+----------------------------------------------------------------
+
+CEDR drives its fabric accelerators through *driverless memory-mapped I/O*:
+the management thread builds DMA descriptors, stages the transfer, and
+polls the device for completion.  All of that is CPU-resident work on the
+management thread's host core.  The paper's own scalability analysis
+(Fig. 10a: execution time is best with *zero* FFT accelerators and degrades
+as more are added) only makes sense in this regime: an accelerator does not
+add free compute capacity, it adds a CPU-hungry thread to an already
+contended core pool.  Accordingly :meth:`TimingModel.accel_parts` returns
+three *CPU-resident* phases for fabric accelerators -
+
+``setup``
+    descriptor/cache maintenance before the device is acquired;
+``busy``
+    DMA streaming + polling while the device is held exclusively (device
+    occupancy equals the management thread's wall time here);
+``teardown``
+    completion/cache work, still holding the device.
+
+On the ZCU102 the end-to-end accelerator cost is deliberately calibrated
+near CPU parity for the paper's FFT sizes (DMA at ~80 MB/s effective with
+cache maintenance, matching the narrative above).  On the Jetson the GPU
+path is genuinely fast (high-bandwidth ``cudaMemcpy``, short kernels), so
+the GPU provides the real speedup the paper's Jetson figures show.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Mapping, Optional
+
+import numpy as np
+
+from .pe import PE, PEKind
+
+__all__ = ["AccelCost", "TimingModel", "zcu102_timing", "jetson_timing"]
+
+#: bytes per complex128 element streamed to/from an accelerator
+_BYTES_PER_ELEM = 16.0
+
+
+@dataclass(frozen=True)
+class AccelCost:
+    """Three-part management-thread cost of one accelerator dispatch.
+
+    All three parts are CPU-resident on the management thread's host core;
+    the device itself is held exclusively for the ``busy`` + ``teardown``
+    phases (see :mod:`repro.runtime.worker`).
+    """
+
+    setup: float
+    busy: float
+    teardown: float
+
+    @property
+    def total(self) -> float:
+        return self.setup + self.busy + self.teardown
+
+
+def _log2(n: float) -> float:
+    return math.log2(max(2.0, float(n)))
+
+
+@dataclass(frozen=True)
+class TimingModel:
+    """Analytic kernel-cost model for one platform."""
+
+    cpu_clock_ghz: float
+    accel_clock_ghz: dict[PEKind, float] = field(default_factory=dict)
+
+    # -- CPU (portable C/C++ implementations) ---------------------------- #
+    fft_cpu_cycles_per_unit: float = 96.0     # x n*log2(n)
+    zip_cpu_cycles_per_elem: float = 6.0
+    gemm_cpu_cycles_per_flop: float = 2.0     # x 2*m*k*n flops
+    conv2d_cpu_cycles_per_mac: float = 2.5    # x h*w*kh*kw
+
+    # -- fabric accelerators (FFT / MMULT IP over AXI DMA, polled) -------- #
+    fabric_setup_us: float = 18.0             # descriptors + cache flush
+    fabric_teardown_us: float = 8.0
+    fabric_dma_ns_per_byte: float = 26.0      # ~80 MB/s effective, 2x payload
+    fft_accel_cycles_per_elem: float = 3.0    # IP pipeline fill + drain
+    fft_accel_max_points: int = 2048          # Xilinx IP configuration limit
+    mmult_accel_cycles_per_flop: float = 0.5
+
+    # -- GPU (CUDA kernels over cudaMemcpy; synchronous, CPU-resident) ---- #
+    gpu_launch_us: float = 15.0               # launch + driver + sync path
+    gpu_memcpy_ns_per_byte: float = 0.15      # ~6.6 GB/s effective
+    gpu_fft_cycles_per_unit: float = 0.3
+    gpu_zip_cycles_per_elem: float = 0.12
+    gpu_teardown_us: float = 5.0
+
+    #: multiplicative log-normal jitter for *sampled* costs; 0 disables.
+    noise_sigma: float = 0.0
+
+    # ------------------------------------------------------------------ #
+
+    def cpu_seconds(self, api: str, params: Mapping[str, float]) -> float:
+        """Dedicated-core seconds for *api* on this platform's CPU."""
+        ghz = self.cpu_clock_ghz
+        if api in ("fft", "ifft"):
+            n = float(params["n"])
+            batch = float(params.get("batch", 1))
+            return batch * self.fft_cpu_cycles_per_unit * n * _log2(n) / (ghz * 1e9)
+        if api == "zip":
+            return self.zip_cpu_cycles_per_elem * float(params["n"]) / (ghz * 1e9)
+        if api == "gemm":
+            flops = 2.0 * params["m"] * params["k"] * params["n"]
+            return self.gemm_cpu_cycles_per_flop * flops / (ghz * 1e9)
+        if api == "conv2d":
+            macs = params["h"] * params["w"] * params["kh"] * params["kw"]
+            return self.conv2d_cpu_cycles_per_mac * macs / (ghz * 1e9)
+        if api == "cpu_op":
+            # Non-kernel application regions carry their cost directly as
+            # seconds-at-1GHz, scaled by the platform clock.
+            return float(params["work_1ghz"]) / ghz
+        raise KeyError(f"no CPU cost model for API {api!r}")
+
+    def accel_parts(self, api: str, params: Mapping[str, float], kind: PEKind) -> AccelCost:
+        """Management-thread dispatch cost of *api* on accelerator *kind*."""
+        if kind is PEKind.FFT and api in ("fft", "ifft"):
+            n = float(params["n"])
+            if n > self.fft_accel_max_points:
+                raise ValueError(
+                    f"{int(n)}-point FFT exceeds the {self.fft_accel_max_points}-point "
+                    "FFT IP configuration"
+                )
+            batch = float(params.get("batch", 1))
+            nbytes = _BYTES_PER_ELEM * n * batch
+            ghz = self.accel_clock_ghz[PEKind.FFT]
+            busy = (
+                2.0 * nbytes * self.fabric_dma_ns_per_byte * 1e-9  # in + out DMA
+                + batch * self.fft_accel_cycles_per_elem * n / (ghz * 1e9)
+            )
+            return AccelCost(
+                setup=self.fabric_setup_us * 1e-6,
+                busy=busy,
+                teardown=self.fabric_teardown_us * 1e-6,
+            )
+        if kind is PEKind.MMULT and api == "gemm":
+            flops = 2.0 * params["m"] * params["k"] * params["n"]
+            nbytes = _BYTES_PER_ELEM * (
+                params["m"] * params["k"] + params["k"] * params["n"] + params["m"] * params["n"]
+            )
+            ghz = self.accel_clock_ghz[PEKind.MMULT]
+            busy = (
+                nbytes * self.fabric_dma_ns_per_byte * 1e-9
+                + self.mmult_accel_cycles_per_flop * flops / (ghz * 1e9)
+            )
+            return AccelCost(
+                setup=self.fabric_setup_us * 1e-6,
+                busy=busy,
+                teardown=self.fabric_teardown_us * 1e-6,
+            )
+        if kind is PEKind.GPU and api in ("fft", "ifft", "zip"):
+            n = float(params["n"])
+            batch = float(params.get("batch", 1))
+            nbytes = _BYTES_PER_ELEM * n * batch
+            memcpy = self.gpu_memcpy_ns_per_byte * nbytes * 1e-9
+            ghz = self.accel_clock_ghz[PEKind.GPU]
+            if api == "zip":
+                kernel = self.gpu_zip_cycles_per_elem * n * batch / (ghz * 1e9)
+                memcpy *= 2.0  # two input operands
+            else:
+                kernel = self.gpu_fft_cycles_per_unit * n * _log2(n) * batch / (ghz * 1e9)
+            return AccelCost(
+                setup=self.gpu_launch_us * 1e-6 + memcpy,
+                busy=kernel,
+                teardown=self.gpu_teardown_us * 1e-6 + memcpy,
+            )
+        raise KeyError(f"no accelerator cost model for API {api!r} on {kind}")
+
+    # ------------------------------------------------------------------ #
+
+    def estimate(self, api: str, params: Mapping[str, float], pe: PE) -> float:
+        """Expected end-to-end seconds of *api* on *pe* (scheduler view).
+
+        Deterministic, dedicated-core assumption: CEDR's profiling tables
+        are collected on an unloaded system, which is precisely why the
+        heuristics underestimate contention - the effect the paper's
+        scalability section documents.
+        """
+        if pe.kind is PEKind.CPU:
+            return self.cpu_seconds(api, params)
+        return self.accel_parts(api, params, pe.kind).total
+
+    def sample_factor(self, rng: Optional[np.random.Generator]) -> float:
+        """Draw the multiplicative jitter factor for one executed task."""
+        if rng is None or self.noise_sigma <= 0.0:
+            return 1.0
+        return float(np.exp(rng.normal(0.0, self.noise_sigma)))
+
+    def with_noise(self, sigma: float) -> "TimingModel":
+        return replace(self, noise_sigma=sigma)
+
+
+def zcu102_timing() -> TimingModel:
+    """Cost model for the Xilinx ZCU102 emulation (Section III).
+
+    4x ARM Cortex-A53 @ 1.2 GHz; FFT/MMULT IP in fabric @ 300 MHz reached
+    through AXI4-Stream DMA driven (and polled) by the management thread.
+    """
+    return TimingModel(
+        cpu_clock_ghz=1.2,
+        accel_clock_ghz={PEKind.FFT: 0.3, PEKind.MMULT: 0.3},
+    )
+
+
+def jetson_timing() -> TimingModel:
+    """Cost model for the NVIDIA Jetson AGX Xavier emulation (Section III).
+
+    8x Carmel @ 2.3 GHz; Volta GPU @ 1.3 GHz reached through ``cudaMemcpy``
+    with synchronous (CPU-resident) dispatch.
+    """
+    return TimingModel(
+        cpu_clock_ghz=2.3,
+        accel_clock_ghz={PEKind.GPU: 1.3},
+    )

@@ -1,0 +1,33 @@
+"""The CEDR runtime: daemon, workers, tasks, configuration, logging."""
+
+from .app import API_MODE, DAG_MODE, AppInstance
+from .config import RuntimeConfig, RuntimeCosts
+from .daemon import CedrRuntime, EventQueue, RunMetrics
+from .logbook import AppRecord, Logbook, TaskRecord
+from .perf_counters import PECounters, PerfCounters
+from .task import CompletionHandle, Task, TaskState
+from .trace import to_chrome_trace, write_chrome_trace
+from .worker import SHUTDOWN, worker_body
+
+__all__ = [
+    "AppInstance",
+    "DAG_MODE",
+    "API_MODE",
+    "RuntimeConfig",
+    "RuntimeCosts",
+    "CedrRuntime",
+    "RunMetrics",
+    "EventQueue",
+    "Task",
+    "TaskState",
+    "CompletionHandle",
+    "Logbook",
+    "TaskRecord",
+    "AppRecord",
+    "PerfCounters",
+    "PECounters",
+    "SHUTDOWN",
+    "worker_body",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,121 @@
+"""Execution logging: the records CEDR serializes at shutdown.
+
+The real runtime collects per-task execution logs and performance-counter
+measurements during a run and writes them out when the shutdown IPC command
+arrives "for later offline analysis by the user".  :class:`Logbook` plays
+that role: task rows accumulate during the run and :meth:`serialize`
+produces the JSON-compatible structure an analysis notebook would consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Optional
+
+from .task import Task
+
+__all__ = ["TaskRecord", "AppRecord", "Logbook"]
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """One completed task, flattened for offline analysis."""
+
+    tid: int
+    app_id: int
+    api: str
+    name: str
+    pe: str
+    pe_kind: str
+    t_release: float
+    t_scheduled: float
+    t_start: float
+    t_finish: float
+
+    @property
+    def queue_wait(self) -> float:
+        return self.t_scheduled - self.t_release
+
+    @property
+    def service_time(self) -> float:
+        return self.t_finish - self.t_start
+
+    @classmethod
+    def from_task(cls, task: Task) -> "TaskRecord":
+        return cls(
+            tid=task.tid,
+            app_id=task.app_id,
+            api=task.api,
+            name=task.name,
+            pe=task.pe.name if task.pe else "?",
+            pe_kind=task.pe.kind.value if task.pe else "?",
+            t_release=task.t_release,
+            t_scheduled=task.t_scheduled,
+            t_start=task.t_start,
+            t_finish=task.t_finish,
+        )
+
+
+@dataclass
+class AppRecord:
+    """Lifecycle of one submitted application instance."""
+
+    app_id: int
+    name: str
+    mode: str
+    t_arrival: float
+    t_launch: float = 0.0
+    t_finish: Optional[float] = None
+    n_tasks: int = 0
+
+    @property
+    def execution_time(self) -> float:
+        """The paper's per-application execution time: arrival to completion,
+        'including the overhead of all scheduling decisions in between'."""
+        if self.t_finish is None:
+            raise ValueError(f"app {self.app_id} ({self.name}) never finished")
+        return self.t_finish - self.t_arrival
+
+
+class Logbook:
+    """In-memory log store with shutdown-time serialization."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.tasks: list[TaskRecord] = []
+        self.apps: dict[int, AppRecord] = {}
+
+    def record_task(self, task: Task) -> None:
+        if self.enabled:
+            self.tasks.append(TaskRecord.from_task(task))
+
+    def open_app(self, record: AppRecord) -> None:
+        self.apps[record.app_id] = record
+
+    def close_app(self, app_id: int, t_finish: float) -> AppRecord:
+        record = self.apps[app_id]
+        record.t_finish = t_finish
+        return record
+
+    def serialize(self) -> dict[str, Any]:
+        """JSON-compatible dump (what CEDR writes at shutdown)."""
+        return {
+            "tasks": [asdict(t) for t in self.tasks],
+            "apps": [asdict(a) for a in self.apps.values()],
+        }
+
+    def save(self, path) -> str:
+        """Write :meth:`serialize` as JSON to *path* (the shutdown dump)."""
+        import json
+        from pathlib import Path
+
+        path = Path(path)
+        path.write_text(json.dumps(self.serialize(), indent=2), encoding="utf-8")
+        return str(path)
+
+    def tasks_by_pe(self) -> dict[str, int]:
+        """Per-PE executed-task histogram (quick load-balance view)."""
+        hist: dict[str, int] = {}
+        for rec in self.tasks:
+            hist[rec.pe] = hist.get(rec.pe, 0) + 1
+        return hist

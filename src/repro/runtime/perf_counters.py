@@ -1,0 +1,73 @@
+"""Software performance counters (the PAPI stand-in).
+
+CEDR's Runtime Configuration lets users enable PAPI hardware counters per
+worker.  Real hardware counters have no meaning inside a behavioural
+simulator, so this module provides the software-visible equivalents the
+evaluation actually consumes: per-PE task/busy tallies, per-API histograms,
+ready-queue depth high-water marks, and scheduling-round statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["PECounters", "PerfCounters"]
+
+
+@dataclass
+class PECounters:
+    """Counters for one processing element."""
+
+    tasks: int = 0
+    busy_seconds: float = 0.0
+    by_api: dict[str, int] = field(default_factory=dict)
+
+    def record(self, api: str, service_time: float) -> None:
+        self.tasks += 1
+        self.busy_seconds += service_time
+        self.by_api[api] = self.by_api.get(api, 0) + 1
+
+
+@dataclass
+class PerfCounters:
+    """Run-wide counter set, updated by daemon and workers."""
+
+    enabled: bool = True
+    per_pe: dict[str, PECounters] = field(default_factory=dict)
+    ready_depth_max: int = 0
+    ready_depth_sum: int = 0
+    sched_rounds: int = 0
+    tasks_completed: int = 0
+    apps_completed: int = 0
+
+    def record_task(self, pe_name: str, api: str, service_time: float) -> None:
+        if not self.enabled:
+            return
+        self.per_pe.setdefault(pe_name, PECounters()).record(api, service_time)
+        self.tasks_completed += 1
+
+    def record_round(self, ready_depth: int) -> None:
+        if not self.enabled:
+            return
+        self.sched_rounds += 1
+        self.ready_depth_max = max(self.ready_depth_max, ready_depth)
+        self.ready_depth_sum += ready_depth
+
+    @property
+    def ready_depth_mean(self) -> float:
+        """Average ready-queue depth seen at scheduling rounds."""
+        return self.ready_depth_sum / self.sched_rounds if self.sched_rounds else 0.0
+
+    def snapshot(self) -> dict:
+        """JSON-compatible dump for the shutdown log."""
+        return {
+            "per_pe": {
+                name: {"tasks": c.tasks, "busy_seconds": c.busy_seconds, "by_api": dict(c.by_api)}
+                for name, c in self.per_pe.items()
+            },
+            "ready_depth_max": self.ready_depth_max,
+            "ready_depth_mean": self.ready_depth_mean,
+            "sched_rounds": self.sched_rounds,
+            "tasks_completed": self.tasks_completed,
+            "apps_completed": self.apps_completed,
+        }

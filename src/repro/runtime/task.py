@@ -1,0 +1,143 @@
+"""Task descriptor: CEDR's schedulable unit of computation.
+
+A task is one invocation of a libCEDR API (``fft``, ``zip``, ``gemm``, ...)
+or, in DAG mode only, a ``cpu_op`` region of non-accelerable application
+code.  The runtime's heterogeneous dispatch works exactly as the paper
+describes: the task itself is implementation-agnostic, and when the
+scheduler maps it to a PE the worker resolves the concrete function through
+the (API, PE kind) registry - the "dynamically updates that task's function
+pointer" step of Section II-A.
+
+Tasks double as the synchronization anchor for API mode: a
+:class:`CompletionHandle` carries the pthread-style mutex/condvar pair of
+Fig. 4 that the application thread sleeps on and the worker signals.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Generator, Mapping, Optional
+
+from repro.simcore import Condition, Mutex, Request
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.platforms import PE
+    from repro.simcore import Engine
+
+__all__ = ["TaskState", "Task", "CompletionHandle"]
+
+_task_ids = itertools.count()
+
+
+class TaskState(enum.Enum):
+    CREATED = "created"      # built but dependencies outstanding (DAG mode)
+    READY = "ready"          # in the ready queue awaiting a scheduling round
+    SCHEDULED = "scheduled"  # assigned to a PE's worker mailbox
+    RUNNING = "running"      # executing on its PE
+    DONE = "done"
+
+
+class CompletionHandle:
+    """The Fig.-4 synchronization pair for one blocking/non-blocking call.
+
+    The application thread initializes mutex + condition before dispatch,
+    sleeps in :meth:`wait`, and the executing worker thread fires
+    :meth:`complete`, which stores the result and signals the condition.
+    """
+
+    def __init__(self, engine: "Engine", label: str) -> None:
+        self.mutex = Mutex(engine, name=f"{label}.mtx")
+        self.cond = Condition(self.mutex, name=f"{label}.cv")
+        self.done = False
+        self.result: Any = None
+
+    def wait(self) -> Generator[Request, Any, Any]:
+        """Block until :meth:`complete` fires; returns the task result.
+
+        Idempotent: waiting on an already-completed handle returns at once.
+        """
+        yield from self.mutex.acquire()
+        while not self.done:
+            yield from self.cond.wait()
+        self.mutex.release()
+        return self.result
+
+    def complete(self, result: Any) -> Generator[Request, Any, None]:
+        """Worker-side: publish *result* and wake the waiting app thread."""
+        yield from self.mutex.acquire()
+        self.done = True
+        self.result = result
+        self.cond.notify_all()
+        self.mutex.release()
+
+
+@dataclass
+class Task:
+    """One schedulable unit plus its lifecycle bookkeeping.
+
+    ``params`` feeds the timing model (e.g. ``{"n": 1024, "batch": 32}``);
+    ``payload`` is the functional input (ndarray or tuple of ndarrays) when
+    kernels actually execute, or ``None`` in timing-only runs.  DAG-mode
+    tasks carry dataflow through the per-app ``state`` dict via
+    ``input_keys``/``output_key`` or an arbitrary ``cpu_fn``.
+    """
+
+    api: str
+    params: Mapping[str, float]
+    app_id: int
+    name: str = ""
+    payload: Any = None
+    #: DAG mode: keys of the app state dict this node reads / writes.
+    input_keys: tuple[str, ...] = ()
+    output_key: Optional[str] = None
+    #: DAG mode cpu_op nodes: arbitrary state -> None callable.
+    cpu_fn: Optional[Callable[[dict], Any]] = None
+    #: DAG wiring (successor tasks and unmet-dependency count).
+    successors: list["Task"] = field(default_factory=list)
+    n_deps: int = 0
+    #: API mode completion signalling.
+    completion: Optional[CompletionHandle] = None
+
+    #: HEFT_RT priority: upward rank in DAG mode, mean execution estimate
+    #: for API-mode calls (set at parse/enqueue time).
+    rank: float = 0.0
+    #: execution estimate used when this task was assigned to its PE
+    #: (drives the PE's outstanding-backlog accounting).
+    est_used: float = 0.0
+
+    state: TaskState = TaskState.CREATED
+    tid: int = field(default_factory=lambda: next(_task_ids))
+    pe: Optional["PE"] = None
+    result: Any = None
+
+    # lifecycle timestamps (simulated seconds)
+    t_release: float = 0.0
+    t_scheduled: float = 0.0
+    t_start: float = 0.0
+    t_finish: float = 0.0
+
+    def __hash__(self) -> int:
+        return self.tid
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    @property
+    def queue_wait(self) -> float:
+        """Seconds spent in the ready queue before being scheduled."""
+        return self.t_scheduled - self.t_release
+
+    @property
+    def service_time(self) -> float:
+        """Seconds from worker pickup to completion."""
+        return self.t_finish - self.t_start
+
+    def add_successor(self, succ: "Task") -> None:
+        """Record a DAG edge self -> succ (bumps succ's dependency count)."""
+        self.successors.append(succ)
+        succ.n_deps += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Task {self.tid} {self.api}:{self.name} app={self.app_id} {self.state.value}>"

@@ -1,0 +1,108 @@
+"""Chrome-trace export of CEDR execution logs.
+
+The real CEDR serializes task logs at shutdown "for later offline analysis
+by the user".  This module turns a :class:`~repro.runtime.logbook.Logbook`
+into the Chrome Trace Event Format (the JSON consumed by ``chrome://tracing``
+and Perfetto), which is the most practical way to *see* a schedule:
+
+* one trace "process" per PE, with each executed task as a complete event
+  (queue wait rendered as a preceding half-opacity span);
+* one process for applications, with an arrival-to-completion span per app;
+* optional counter track of the ready-queue depth per scheduling round.
+
+Usage::
+
+    runtime.run()
+    write_chrome_trace("run.trace.json", runtime)
+    # open chrome://tracing or https://ui.perfetto.dev and load the file
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .daemon import CedrRuntime
+
+__all__ = ["to_chrome_trace", "write_chrome_trace"]
+
+#: trace pid reserved for application lifetime spans
+APP_PID = 1_000_000
+
+
+def _us(seconds: float) -> float:
+    return seconds * 1e6
+
+
+def to_chrome_trace(runtime: "CedrRuntime") -> dict[str, Any]:
+    """Build the Chrome Trace Event JSON structure for one completed run."""
+    events: list[dict[str, Any]] = []
+
+    # -- metadata: name the PE rows ------------------------------------ #
+    pe_pids: dict[str, int] = {}
+    for pe in runtime.platform.pes:
+        pid = 1000 + pe.index
+        pe_pids[pe.name] = pid
+        events.append({
+            "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+            "args": {"name": f"PE {pe.name} ({pe.kind.value})"},
+        })
+        events.append({
+            "ph": "M", "name": "process_sort_index", "pid": pid, "tid": 0,
+            "args": {"sort_index": pe.index},
+        })
+    events.append({
+        "ph": "M", "name": "process_name", "pid": APP_PID, "tid": 0,
+        "args": {"name": "applications"},
+    })
+
+    # -- per-task execution + queue-wait spans -------------------------- #
+    for rec in runtime.logbook.tasks:
+        pid = pe_pids.get(rec.pe)
+        if pid is None:
+            continue
+        if rec.queue_wait > 0:
+            events.append({
+                "ph": "X", "name": f"wait {rec.api}", "cat": "queue",
+                "pid": pid, "tid": 0,
+                "ts": _us(rec.t_release), "dur": _us(rec.t_start - rec.t_release),
+                "args": {"task": rec.tid, "app": rec.app_id},
+            })
+        events.append({
+            "ph": "X", "name": f"{rec.api}:{rec.name}", "cat": "task",
+            "pid": pid, "tid": 0,
+            "ts": _us(rec.t_start), "dur": _us(rec.service_time),
+            "args": {"task": rec.tid, "app": rec.app_id, "api": rec.api},
+        })
+
+    # -- application lifetimes ------------------------------------------ #
+    for app in runtime.logbook.apps.values():
+        if app.t_finish is None:
+            continue
+        events.append({
+            "ph": "X", "name": f"{app.name}#{app.app_id} ({app.mode})",
+            "cat": "app", "pid": APP_PID, "tid": app.app_id,
+            "ts": _us(app.t_arrival), "dur": _us(app.execution_time),
+            "args": {"mode": app.mode, "exec_ms": app.execution_time * 1e3},
+        })
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "platform": runtime.platform.config.name,
+            "scheduler": runtime.scheduler.name,
+            "makespan_ms": runtime.metrics.makespan * 1e3,
+            "apps": runtime.metrics.apps_completed,
+            "tasks": runtime.counters.tasks_completed,
+        },
+    }
+
+
+def write_chrome_trace(path: str, runtime: "CedrRuntime", indent: Optional[int] = None) -> str:
+    """Serialize :func:`to_chrome_trace` to *path*; returns the path."""
+    trace = to_chrome_trace(runtime)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(trace, fh, indent=indent)
+    return path

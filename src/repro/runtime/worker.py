@@ -1,0 +1,131 @@
+"""Worker threads: one per PE, exactly as in the paper's runtime.
+
+CPU workers are pinned to their own core and execute tasks there.
+Accelerator workers are *management threads* pinned to a host CPU core:
+they pay the dispatch setup (DMA descriptors / ``cudaMemcpy``) as ordinary
+processor-shared CPU work, occupy the device exclusively for the kernel
+itself, then pay the teardown on the CPU again.  When a task completes the
+worker signals the application thread's condition variable (API mode,
+Fig. 4) and posts a ``task_done`` event to the daemon.
+
+Functional execution is layered on top of the timing charge: when
+``execute_kernels`` is enabled the worker resolves the (API, PE kind)
+implementation from the kernel registry - CEDR's "dynamically updates that
+task's function pointer" step - and actually computes the result, so
+integration tests can check numerics end to end.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.kernels.registry import implementation_for
+from repro.platforms.pe import CPU_ONLY_API, PEKind
+from repro.simcore import AcquireDevice, Compute, Request
+
+from .task import Task, TaskState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.platforms import PE
+
+    from .daemon import CedrRuntime
+
+__all__ = ["SHUTDOWN", "worker_body"]
+
+#: Mailbox sentinel telling a worker to exit (the shutdown IPC command).
+SHUTDOWN = object()
+
+
+def _execute_functional(runtime: "CedrRuntime", task: Task, pe: "PE") -> Any:
+    """Run the task's actual kernel (or cpu_op callable) and return result."""
+    if not runtime.config.execute_kernels:
+        return None
+    if task.api == CPU_ONLY_API:
+        state = runtime.apps[task.app_id].state
+        return task.cpu_fn(state) if task.cpu_fn else None
+    if task.input_keys:  # DAG kernel node: dataflow through the state dict
+        state = runtime.apps[task.app_id].state
+        inputs = [state[k] for k in task.input_keys]
+        payload = inputs[0] if len(inputs) == 1 else tuple(inputs)
+    else:  # API-mode call: payload travels with the task
+        payload = task.payload
+    impl = implementation_for(task.api, pe.kind)
+    result = impl(payload)
+    if task.output_key is not None:
+        runtime.apps[task.app_id].state[task.output_key] = result
+    return result
+
+
+def worker_body(runtime: "CedrRuntime", pe: "PE") -> Generator[Request, Any, None]:
+    """Generator body of the worker thread paired with *pe*.
+
+    The caller spawns it with affinity ``pe.core`` (CPU PEs) or
+    ``pe.host_core`` (accelerator PEs), so every plain :class:`Compute`
+    below lands on the right core automatically.
+    """
+    mailbox = runtime.mailboxes[pe.index]
+    costs = runtime.config.costs
+    timing = runtime.platform.timing
+    engine = runtime.engine
+    host_core = pe.core if pe.kind is PEKind.CPU else pe.host_core
+
+    while True:
+        # CEDR workers busy-poll their queues: an idle worker occupies a full
+        # processor-sharing slot on its core until a task (or shutdown)
+        # arrives.  This spinning is what squeezes application threads and
+        # makes every added accelerator-management thread costly (Fig. 10).
+        host_core.spinners += 1
+        try:
+            task = yield from mailbox.get()
+        finally:
+            host_core.spinners -= 1
+        if task is SHUTDOWN:
+            return
+        assert isinstance(task, Task)
+        # in-flight from the instant the task leaves the mailbox, so the
+        # daemon's shutdown drain check never races the dispatch segment
+        runtime.inflight[pe.index] += 1
+        yield Compute(costs.worker_dispatch_us * 1e-6 * runtime.cost_scale)
+
+        task.state = TaskState.RUNNING
+        task.t_start = engine.now
+
+        if pe.kind is PEKind.CPU:
+            work = timing.cpu_seconds(task.api, task.params)
+            yield Compute(work * runtime.sample_noise())
+        else:
+            # Polling dispatch (see TimingModel docstring): every phase is
+            # CPU work on the host core; the device is held exclusively
+            # through the DMA/poll and completion phases, so its occupancy
+            # stretches with host-core contention exactly like the real
+            # driverless-MMIO management threads.
+            parts = timing.accel_parts(task.api, task.params, pe.kind)
+            yield Compute(parts.setup * runtime.sample_noise())
+            yield AcquireDevice(pe.device)
+            me = engine.current  # the worker thread itself
+            yield Compute(parts.busy * runtime.sample_noise())
+            yield Compute(parts.teardown * runtime.sample_noise())
+            pe.device.release(me)
+
+        result = _execute_functional(runtime, task, pe)
+        task.result = result
+        task.t_finish = engine.now
+        task.state = TaskState.DONE
+        task.pe = pe
+        pe.tasks_executed += 1
+        runtime.inflight[pe.index] -= 1
+        # Backlog + slowdown feedback for the scheduling heuristics: how
+        # much slower did this task run than its profile said (contention)?
+        pe.outstanding_est = max(0.0, pe.outstanding_est - task.est_used)
+        if task.est_used > 0.0:
+            observed = task.service_time / task.est_used
+            pe.slowdown += 0.1 * (observed - pe.slowdown)
+        runtime.counters.record_task(pe.name, task.api, task.service_time)
+        runtime.logbook.record_task(task)
+
+        if task.completion is not None:
+            # Fig. 4: worker wakes the application thread directly.
+            yield Compute(costs.completion_signal_us * 1e-6 * runtime.cost_scale)
+            yield from task.completion.complete(result)
+
+        runtime.post(("task_done", task))

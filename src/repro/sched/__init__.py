@@ -1,0 +1,45 @@
+"""CEDR scheduling heuristics.
+
+The paper's evaluation uses RR, EFT, ETF, and HEFT_RT
+(:data:`PAPER_SCHEDULERS`); the wider CEDR ecosystem's scheduler studies
+also include MET and random mapping, provided here for the ablation
+benches.  Importing this package registers everything; instantiate by name
+through :func:`make_scheduler`.
+"""
+
+from .base import (
+    Scheduler,
+    SchedulerError,
+    available_schedulers,
+    make_scheduler,
+    register_scheduler,
+)
+from .eft import EarliestFinishTime
+from .etf import EarliestTaskFirst
+from .heft_rt import HeftRT, upward_ranks
+from .met import MinimumExecutionTime
+from .random_sched import RandomScheduler
+from .rr import RoundRobin
+
+#: Scheduler names in the order the paper's figures present them.
+PAPER_SCHEDULERS = ("rr", "eft", "etf", "heft_rt")
+
+#: Extra heuristics from the wider CEDR scheduler repertoire [12].
+EXTRA_SCHEDULERS = ("met", "random")
+
+__all__ = [
+    "Scheduler",
+    "SchedulerError",
+    "register_scheduler",
+    "make_scheduler",
+    "available_schedulers",
+    "RoundRobin",
+    "EarliestFinishTime",
+    "EarliestTaskFirst",
+    "HeftRT",
+    "MinimumExecutionTime",
+    "RandomScheduler",
+    "upward_ranks",
+    "PAPER_SCHEDULERS",
+    "EXTRA_SCHEDULERS",
+]

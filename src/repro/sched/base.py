@@ -1,0 +1,100 @@
+"""Scheduler interface and registry.
+
+A CEDR scheduling heuristic runs inside the daemon's main loop on the
+reserved runtime core.  Each *scheduling round* receives the current ready
+queue and the PE list and returns an assignment for every ready task (CEDR
+pushes work to per-worker queues; workers drain them in order).  Two things
+matter for reproducing the paper:
+
+* the *quality* of the mapping (which PE each task lands on), and
+* the *cost* of deciding, charged to the runtime core via
+  :meth:`Scheduler.round_cost`.  ETF's cost grows quadratically with the
+  ready-queue length, which is the entire mechanism behind the paper's
+  Fig. 7 (70 ms DAG-mode vs 1.15 ms API-mode ETF overhead).
+
+Estimates come from the daemon as an ``estimate(task, pe)`` callable backed
+by the platform timing model - the runtime analogue of CEDR's offline
+profiling tables.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Callable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.platforms import PE
+    from repro.runtime.task import Task
+
+__all__ = ["Scheduler", "SchedulerError", "register_scheduler", "make_scheduler", "available_schedulers"]
+
+EstimateFn = Callable[["Task", "PE"], float]
+
+
+class SchedulerError(Exception):
+    """Raised when no valid assignment exists (e.g. unsupported API)."""
+
+
+class Scheduler(abc.ABC):
+    """Base class for CEDR scheduling heuristics."""
+
+    #: registry key and display name, e.g. "etf"
+    name: str = "base"
+
+    @abc.abstractmethod
+    def schedule(
+        self,
+        ready: Sequence["Task"],
+        pes: Sequence["PE"],
+        now: float,
+        estimate: EstimateFn,
+    ) -> list[tuple["Task", "PE"]]:
+        """Assign every ready task to a PE.
+
+        Implementations must update ``pe.expected_free`` as they commit
+        assignments so later decisions in the same round see the backlog,
+        and must only ever pick PEs for which ``pe.supports(task.api)``.
+        """
+
+    @abc.abstractmethod
+    def round_cost(self, n_ready: int, n_pes: int) -> float:
+        """Runtime-core seconds one round over ``n_ready`` tasks costs."""
+
+    @staticmethod
+    def compatible(task: "Task", pes: Sequence["PE"]) -> list["PE"]:
+        """PEs able to execute *task*; raises if none exist."""
+        options = [pe for pe in pes if pe.supports(task.api)]
+        if not options:
+            raise SchedulerError(
+                f"no PE supports API {task.api!r} (task {task.tid}); "
+                "check the platform's accelerator composition"
+            )
+        return options
+
+
+_REGISTRY: dict[str, type[Scheduler]] = {}
+
+
+def register_scheduler(cls: type[Scheduler]) -> type[Scheduler]:
+    """Class decorator adding a heuristic to the runtime's registry."""
+    key = cls.name.lower()
+    if key in _REGISTRY:
+        raise ValueError(f"scheduler {key!r} registered twice")
+    _REGISTRY[key] = cls
+    return cls
+
+
+def make_scheduler(name: str, **kwargs) -> Scheduler:
+    """Instantiate a registered heuristic by name (case-insensitive)."""
+    try:
+        cls = _REGISTRY[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown scheduler {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return cls(**kwargs)
+
+
+def available_schedulers() -> list[str]:
+    """Names of all registered heuristics (sorted)."""
+    return sorted(_REGISTRY)

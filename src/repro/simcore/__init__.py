@@ -1,0 +1,50 @@
+"""Discrete-event simulation core: threads, processor-sharing cores, sync.
+
+This package is the hardware-substitution substrate for the CEDR-API
+reproduction (see DESIGN.md section 1): it supplies the simulated pthreads,
+CPU cores, and accelerator devices on which both the DAG-based and API-based
+CEDR runtimes execute.
+"""
+
+from .cores import Core, Device
+from .engine import Engine
+from .errors import SimDeadlock, SimError, SimStateError, SimTimeError
+from .process import (
+    AcquireDevice,
+    Block,
+    Compute,
+    Request,
+    Sleep,
+    SimThread,
+    ThreadState,
+    UseDevice,
+    Yield,
+)
+from .rng import child_rng, make_rng, spawn_rngs
+from .sync import Condition, Mutex, Semaphore, SimQueue
+
+__all__ = [
+    "Engine",
+    "Core",
+    "Device",
+    "SimThread",
+    "ThreadState",
+    "Request",
+    "Compute",
+    "Sleep",
+    "Block",
+    "Yield",
+    "UseDevice",
+    "AcquireDevice",
+    "Mutex",
+    "Condition",
+    "Semaphore",
+    "SimQueue",
+    "SimError",
+    "SimDeadlock",
+    "SimStateError",
+    "SimTimeError",
+    "make_rng",
+    "child_rng",
+    "spawn_rngs",
+]

@@ -1,0 +1,229 @@
+"""Processor-sharing CPU cores and exclusive accelerator devices.
+
+The contention model is the load-bearing piece of this reproduction: every
+headline result in the CEDR-API paper (Figs 5-10) is driven by worker,
+application, and accelerator-management threads time-sharing a small pool of
+ARM cores.  We model each core as an egalitarian processor-sharing server:
+when ``k`` threads are runnable on a core of speed ``s``, each progresses at
+rate ``s / k``.  This is the fluid limit of the Linux CFS round-robin that
+the real CEDR threads experience, and it makes completion times exactly
+computable in an event-driven loop (no quantum discretization noise).
+
+Devices (FFT/MMULT accelerators, the GPU) are exclusive FIFO servers: one
+occupant at a time, queued requests served in arrival order.  The CPU-side
+cost of talking to a device (DMA setup, ``cudaMemcpy``) is *not* modelled
+here - the runtime charges it as ordinary :class:`Compute` work on the
+management thread's host core, which is precisely how the paper explains its
+scalability results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from .errors import SimStateError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import Engine
+    from .process import SimThread
+
+__all__ = ["Core", "Device"]
+
+#: Remaining-work threshold below which a compute segment counts as finished.
+#: Guards against float round-off leaving 1e-18 core-seconds of zombie work.
+WORK_EPSILON = 1e-12
+
+
+@dataclass
+class Core:
+    """One processor-sharing CPU core.
+
+    ``speed`` is a dimensionless multiplier; kernel cost tables already fold
+    in absolute clock rates, so platforms normally leave it at 1.0 and encode
+    cross-platform differences (1.2 GHz ARM A53 vs 2.3 GHz Carmel) in the
+    cost model.
+
+    ``cs_alpha`` is the context-switch/cache-thrash penalty: with ``k``
+    runnable threads the core's *aggregate* delivery rate degrades to
+    ``speed / (1 + cs_alpha * (k - 1))``.  Pure processor sharing is
+    work-conserving, which would hide the oversubscription cost the paper's
+    scalability analysis (Fig. 10) attributes to "each thread waiting for
+    longer periods to get access to the CPU core"; the penalty restores it.
+    """
+
+    name: str
+    index: int
+    speed: float = 1.0
+    cs_alpha: float = 0.0
+    #: number of busy-polling threads currently parked on this core.  CEDR's
+    #: worker and accelerator-management threads spin on their queues, so an
+    #: *idle* worker still consumes a full processor-sharing slot - the
+    #: mechanism behind the paper's thread-contention findings (API threads
+    #: squeezed by spinning workers in Fig. 6/8, monotone degradation with
+    #: FFT count in Fig. 10a, the 5-CPU minimum in Fig. 10b).  Spinners take
+    #: a share slot but have no work to finish; they vanish from the core
+    #: the instant their queue delivers a task.
+    spinners: int = 0
+    #: runnable thread -> remaining dedicated-core-seconds of its segment
+    running: dict["SimThread", float] = field(default_factory=dict)
+    #: total dedicated-core-seconds delivered (for utilization accounting)
+    delivered: float = 0.0
+    #: wall-seconds during which at least one thread was runnable here
+    busy_time: float = 0.0
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    @property
+    def load(self) -> int:
+        """Threads currently sharing this core: runnable plus busy-polling
+        spinners.  Used for floating-thread placement - an application
+        thread migrating onto a core occupied by a spinning CEDR worker
+        really does land in a contended slot, which is why the 3-core
+        ZCU102 squeezes application threads while the Jetson's spare cores
+        do not (paper Figs 6 vs 8)."""
+        return len(self.running) + self.spinners
+
+    def add(self, thread: "SimThread", work: float) -> None:
+        if thread in self.running:
+            raise SimStateError(f"{thread.name!r} already running on core {self.name!r}")
+        self.running[thread] = work
+
+    def _per_thread_rate(self) -> float:
+        """Dedicated-work seconds delivered per wall second to each of the
+        ``k`` runnable threads, including busy-polling spinners in the share
+        count and the context-switch penalty."""
+        k = len(self.running) + self.spinners
+        return self.speed / (k * (1.0 + self.cs_alpha * (k - 1)))
+
+    def next_completion_in(self) -> Optional[float]:
+        """Wall-seconds until the earliest segment here finishes, or None."""
+        if not self.running:
+            return None
+        return min(self.running.values()) / self._per_thread_rate()
+
+    def advance(self, dt: float) -> list["SimThread"]:
+        """Progress all runnable threads by ``dt`` wall-seconds.
+
+        Returns the threads whose segments completed.  The engine guarantees
+        ``dt`` never overshoots the earliest completion, so remaining work
+        stays non-negative up to :data:`WORK_EPSILON`.
+        """
+        if dt == 0.0:
+            return []
+        if not self.running:
+            if self.spinners:
+                # a busy-polling thread keeps the core active (and drawing
+                # power) even with no work item in flight
+                self.busy_time += dt
+            return []
+        rate = self._per_thread_rate()
+        k = len(self.running)
+        done: list[SimThread] = []
+        for thread in list(self.running):
+            granted = dt * rate
+            self.running[thread] -= granted
+            thread.cpu_time += granted
+            if self.running[thread] <= WORK_EPSILON:
+                del self.running[thread]
+                done.append(thread)
+        self.delivered += dt * rate * k
+        self.busy_time += dt
+        return done
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of wall time this core had runnable work."""
+        return 0.0 if elapsed <= 0 else self.busy_time / elapsed
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Core {self.name} load={self.load}>"
+
+
+@dataclass
+class Device:
+    """An exclusive, FIFO-queued accelerator device.
+
+    Two occupancy styles, never mixed on one device by the runtime:
+
+    * **Timed** (:class:`~repro.simcore.process.UseDevice`): the thread
+      blocks and the device auto-releases after a fixed duration - a
+      fire-and-forget interrupt-driven dispatch.
+    * **Held** (:class:`~repro.simcore.process.AcquireDevice` +
+      :meth:`release`): the thread owns the device across its own compute
+      segments.  This is how CEDR's driverless MMIO management threads work:
+      the mgmt thread *polls* the accelerator, so the device stays occupied
+      for as long as the (processor-shared, possibly slowed-down) polling
+      loop takes - the contention coupling the paper's Fig. 10 exposes.
+    """
+
+    name: str
+    engine: "Engine"
+    occupant: Optional["SimThread"] = None
+    #: waiting (thread, duration-or-None) pairs; None = held-style acquire
+    queue: list[tuple["SimThread", Optional[float]]] = field(default_factory=list)
+    busy_time: float = 0.0
+    served: int = 0
+    _busy_since: float = 0.0
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    @property
+    def busy(self) -> bool:
+        return self.occupant is not None
+
+    def request(self, thread: "SimThread", duration: Optional[float]) -> None:
+        """Enqueue *thread*; ``duration=None`` means held-style acquire."""
+        if self.occupant is None:
+            self._start(thread, duration)
+        else:
+            self.queue.append((thread, duration))
+
+    def _start(self, thread: "SimThread", duration: Optional[float]) -> None:
+        self.occupant = thread
+        self._busy_since = self.engine.now
+        if duration is None:
+            # held-style: grant immediately; owner releases explicitly
+            self.engine.wake(thread)
+        else:
+            self.engine._schedule_timer(duration, self._timed_complete)
+
+    def _timed_complete(self) -> None:
+        thread = self.occupant
+        if thread is None:  # pragma: no cover - engine invariant
+            raise SimStateError(f"device {self.name!r} completed with no occupant")
+        self._finish()
+        self.engine.wake(thread)
+
+    def release(self, thread: "SimThread") -> None:
+        """Held-style release by the current occupant (synchronous call)."""
+        if self.occupant is not thread:
+            raise SimStateError(
+                f"{thread.name!r} released device {self.name!r} held by "
+                f"{self.occupant.name if self.occupant else None!r}"
+            )
+        self._finish()
+
+    def _finish(self) -> None:
+        self.occupant = None
+        self.busy_time += self.engine.now - self._busy_since
+        self.served += 1
+        if self.queue:
+            nxt, dur = self.queue.pop(0)
+            self._start(nxt, dur)
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of wall time the device spent occupied."""
+        extra = (self.engine.now - self._busy_since) if self.busy else 0.0
+        return 0.0 if elapsed <= 0 else (self.busy_time + extra) / elapsed
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "busy" if self.busy else "idle"
+        return f"<Device {self.name} {state} q={len(self.queue)}>"

@@ -1,0 +1,277 @@
+"""Event-driven simulation engine with processor-sharing cores.
+
+The engine owns the virtual clock, a timer heap, the set of CPU cores, and a
+dispatch queue of threads runnable *right now*.  Its main loop alternates two
+phases:
+
+1. **Dispatch** - resume every ready thread at the current instant, handling
+   the request each one yields (compute, sleep, block, device use, ...).
+   Dispatching may make further threads ready at the same instant (condition
+   signals, device grants), so this phase drains to a fixed point.
+2. **Advance** - jump the clock to the next event: either a timer or the
+   earliest compute-segment completion given current processor sharing, then
+   credit the elapsed interval to every runnable thread.
+
+Because processor-sharing completion times change whenever the runnable set
+changes, completion instants are recomputed from per-core remaining-work
+tables at every advance instead of being cached in the heap; with the small
+core counts of the emulated SoCs (<= 8) this costs O(threads) per event and
+is exact.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Any, Callable, Generator, Optional, Sequence
+
+from .cores import Core, Device
+from .errors import SimDeadlock, SimStateError, SimTimeError
+from .process import (
+    AcquireDevice,
+    Block,
+    Compute,
+    Request,
+    Sleep,
+    SimThread,
+    ThreadState,
+    UseDevice,
+    Yield,
+)
+from .rng import make_rng
+
+__all__ = ["Engine"]
+
+
+class Engine:
+    """Discrete-event simulator for threads over processor-sharing cores.
+
+    Parameters
+    ----------
+    cores:
+        Either an integer (that many unit-speed cores are created) or a
+        sequence of pre-built :class:`Core` objects.
+    seed:
+        Seed for the engine-owned root RNG; subsystems derive child streams
+        from it so whole experiments are reproducible bit-for-bit.
+    """
+
+    def __init__(self, cores: int | Sequence[Core] = 1, seed: int = 0) -> None:
+        if isinstance(cores, int):
+            if cores < 1:
+                raise SimStateError("engine needs at least one core")
+            self.cores: list[Core] = [Core(name=f"cpu{i}", index=i) for i in range(cores)]
+        else:
+            self.cores = list(cores)
+            if not self.cores:
+                raise SimStateError("engine needs at least one core")
+        self.devices: list[Device] = []
+        #: cores eligible to host floating (affinity-less) threads; platforms
+        #: shrink this to the worker pool so floating application threads
+        #: never land on the reserved runtime core.
+        self.floating_pool: list[Core] = list(self.cores)
+        self.seed = seed
+        self.rng = make_rng(seed)
+        self.now: float = 0.0
+        self.current: Optional[SimThread] = None
+        self.threads: list[SimThread] = []
+        self._ready: deque[tuple[SimThread, Any]] = deque()
+        self._timers: list[tuple[float, int, Callable[[], None]]] = []
+        self._timer_seq = itertools.count()
+        self._events_processed = 0
+        self.trace: Optional[Callable[..., None]] = None
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+
+    def add_device(self, name: str) -> Device:
+        """Register a new exclusive accelerator device."""
+        dev = Device(name=name, engine=self)
+        self.devices.append(dev)
+        return dev
+
+    def spawn(
+        self,
+        gen: Generator[Request, Any, Any],
+        name: str = "thread",
+        affinity: Optional[Core] = None,
+    ) -> SimThread:
+        """Create a simulated thread from generator *gen* and make it ready.
+
+        ``affinity`` pins the thread to one core; ``None`` lets each compute
+        segment land on the currently least-loaded core.
+        """
+        if affinity is not None and affinity not in self.cores:
+            raise SimStateError(f"affinity core {affinity.name!r} is not part of this engine")
+        thread = SimThread(name=name, gen=gen, engine=self, affinity=affinity)
+        thread.started_at = self.now
+        self.threads.append(thread)
+        self._ready.append((thread, None))
+        return thread
+
+    # ------------------------------------------------------------------ #
+    # scheduling primitives (used by sync/device layers)
+    # ------------------------------------------------------------------ #
+
+    def wake(self, thread: SimThread, value: Any = None) -> None:
+        """Move a blocked/sleeping thread back to the dispatch queue."""
+        if thread.state is ThreadState.FINISHED:
+            raise SimStateError(f"cannot wake finished thread {thread.name!r}")
+        if thread.state in (ThreadState.READY, ThreadState.RUNNING):
+            raise SimStateError(f"thread {thread.name!r} is not blocked (state={thread.state})")
+        thread.state = ThreadState.READY
+        self._ready.append((thread, value))
+
+    def _schedule_timer(self, delay: float, callback: Callable[[], None]) -> None:
+        if delay < 0:
+            raise SimTimeError(f"negative timer delay: {delay}")
+        heapq.heappush(self._timers, (self.now + delay, next(self._timer_seq), callback))
+
+    def call_at(self, when: float, callback: Callable[[], None]) -> None:
+        """Run *callback* at absolute simulated time ``when`` (>= now)."""
+        if when < self.now:
+            raise SimTimeError(f"call_at({when}) is in the past (now={self.now})")
+        heapq.heappush(self._timers, (when, next(self._timer_seq), callback))
+
+    # ------------------------------------------------------------------ #
+    # dispatch
+    # ------------------------------------------------------------------ #
+
+    def _pick_core(self, thread: SimThread, override: Optional[Core]) -> Core:
+        if override is not None:
+            return override
+        if thread.affinity is not None:
+            return thread.affinity
+        return min(self.floating_pool, key=lambda c: (c.load, c.index))
+
+    def _dispatch(self, thread: SimThread, value: Any) -> None:
+        """Resume one thread and act on the request it yields."""
+        self.current = thread
+        try:
+            request = thread.gen.send(value)
+        except StopIteration as stop:
+            self._finish(thread, stop.value)
+            return
+        finally:
+            self.current = None
+
+        if isinstance(request, Compute):
+            core = self._pick_core(thread, request.core)
+            if request.work <= 0.0:
+                # Zero-cost segment: skip the core entirely so it neither
+                # perturbs processor sharing nor inflates busy accounting.
+                thread.state = ThreadState.READY
+                self._ready.append((thread, None))
+            else:
+                thread.state = ThreadState.RUNNING
+                thread._current_core = core
+                core.add(thread, request.work)
+        elif isinstance(request, Sleep):
+            thread.state = ThreadState.SLEEPING
+            self._schedule_timer(request.duration, lambda t=thread: self.wake(t))
+        elif isinstance(request, Block):
+            thread.state = ThreadState.BLOCKED
+        elif isinstance(request, Yield):
+            thread.state = ThreadState.READY
+            self._ready.append((thread, None))
+        elif isinstance(request, UseDevice):
+            thread.state = ThreadState.BLOCKED
+            request.device.request(thread, request.duration)
+        elif isinstance(request, AcquireDevice):
+            thread.state = ThreadState.BLOCKED
+            request.device.request(thread, None)
+        else:
+            raise SimStateError(
+                f"thread {thread.name!r} yielded unsupported request {request!r}"
+            )
+
+    def _finish(self, thread: SimThread, result: Any) -> None:
+        thread.state = ThreadState.FINISHED
+        thread.result = result
+        thread.finished_at = self.now
+        for joiner in thread._joiners:
+            self.wake(joiner)
+        thread._joiners.clear()
+        if self.trace is not None:
+            self.trace("thread_finished", thread=thread, time=self.now)
+
+    # ------------------------------------------------------------------ #
+    # main loop
+    # ------------------------------------------------------------------ #
+
+    def _next_compute_completion(self) -> Optional[float]:
+        best: Optional[float] = None
+        for core in self.cores:
+            dt = core.next_completion_in()
+            if dt is not None and (best is None or dt < best):
+                best = dt
+        return best
+
+    def _advance(self, dt: float) -> None:
+        if dt < 0:
+            raise SimTimeError(f"attempted to advance time by {dt}")
+        self.now += dt
+        for core in self.cores:
+            for thread in core.advance(dt):
+                thread.state = ThreadState.READY
+                thread._current_core = None
+                self._ready.append((thread, None))
+
+    def run(self, until: Optional[float] = None, strict: bool = True) -> float:
+        """Run the simulation; return the final simulated time.
+
+        Stops when no further events exist, or at time ``until`` if given.
+        With ``strict=True`` (default), running out of events while threads
+        are still blocked raises :class:`SimDeadlock` - a clean experiment
+        must shut its runtime down so every thread finishes.
+        """
+        while True:
+            while self._ready:
+                thread, value = self._ready.popleft()
+                self._events_processed += 1
+                self._dispatch(thread, value)
+
+            timer_at = self._timers[0][0] if self._timers else None
+            compute_in = self._next_compute_completion()
+            compute_at = None if compute_in is None else self.now + compute_in
+
+            if timer_at is None and compute_at is None:
+                blocked = self.blocked_threads()
+                if strict and blocked:
+                    names = ", ".join(t.name for t in blocked[:12])
+                    raise SimDeadlock(
+                        f"no events remain but {len(blocked)} thread(s) are blocked: {names}"
+                    )
+                return self.now
+
+            next_at = min(t for t in (timer_at, compute_at) if t is not None)
+            if until is not None and next_at > until:
+                self._advance(until - self.now)
+                return self.now
+
+            self._advance(next_at - self.now)
+            while self._timers and self._timers[0][0] <= self.now + 1e-15:
+                _, _, callback = heapq.heappop(self._timers)
+                callback()
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+
+    def blocked_threads(self) -> list[SimThread]:
+        """Threads currently parked on a mutex/condvar/device/join."""
+        return [t for t in self.threads if t.state is ThreadState.BLOCKED]
+
+    def alive_threads(self) -> list[SimThread]:
+        return [t for t in self.threads if t.alive]
+
+    @property
+    def events_processed(self) -> int:
+        """Number of dispatch events handled so far (progress metric)."""
+        return self._events_processed
+
+    def core_utilization(self) -> dict[str, float]:
+        """Per-core busy fraction over the elapsed simulated time."""
+        return {c.name: c.utilization(self.now) for c in self.cores}

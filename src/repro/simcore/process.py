@@ -1,0 +1,189 @@
+"""Simulated threads and the request protocol they speak to the engine.
+
+A simulated thread is a Python generator.  The generator *yields* request
+objects (:class:`Compute`, :class:`Sleep`, :class:`Block`, ...) to the
+:class:`~repro.simcore.engine.Engine`, which charges simulated time for the
+request and resumes the generator when it is satisfied.  This mirrors how a
+real pthread alternates between running on a core and blocking in the kernel,
+and is the standard coroutine-based discrete-event style (compare SimPy),
+implemented here from scratch so the core-contention model can be exact.
+
+Thread bodies therefore look like straight-line code::
+
+    def worker(engine, queue):
+        while True:
+            task = yield from queue.get()       # may block
+            yield Compute(task.cost)            # processor-shared core time
+            task.mark_done()
+
+Only the engine may resume a thread; user code communicates through the
+synchronization primitives in :mod:`repro.simcore.sync`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from .errors import SimStateError, SimTimeError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from .cores import Core, Device
+    from .engine import Engine
+
+__all__ = [
+    "Request",
+    "Compute",
+    "Sleep",
+    "Block",
+    "Yield",
+    "UseDevice",
+    "AcquireDevice",
+    "ThreadState",
+    "SimThread",
+]
+
+
+class Request:
+    """Base class for everything a simulated thread may yield."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Compute(Request):
+    """Consume ``work`` seconds of *dedicated-core* time.
+
+    On a core shared by ``k`` runnable threads the request takes
+    ``work * k / core.speed`` seconds of simulated wall time (processor
+    sharing).  ``core`` overrides the thread's affinity for this one segment,
+    which the runtime uses to charge accelerator-management work to the
+    management thread's host core.
+    """
+
+    work: float
+    core: "Optional[Core]" = None
+
+    def __post_init__(self) -> None:
+        if self.work < 0:
+            raise SimTimeError(f"negative compute work: {self.work}")
+
+
+@dataclass(frozen=True)
+class Sleep(Request):
+    """Suspend for ``duration`` seconds of wall time without using any core."""
+
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise SimTimeError(f"negative sleep duration: {self.duration}")
+
+
+class Block(Request):
+    """Park until another thread calls :meth:`Engine.wake` on this thread.
+
+    Used exclusively by the synchronization primitives; application-level
+    code should block through a mutex/condition variable instead.
+    """
+
+    __slots__ = ()
+
+
+class Yield(Request):
+    """Relinquish control for one dispatch round at the current time."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class UseDevice(Request):
+    """Occupy an exclusive device (accelerator) for ``duration`` seconds.
+
+    The requesting thread blocks while the device works; requests queue FIFO
+    when the device is busy.  This models an interrupt-driven dispatch where
+    the management thread truly sleeps while the FPGA/GPU runs.
+    """
+
+    device: "Device"
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise SimTimeError(f"negative device duration: {self.duration}")
+
+
+@dataclass(frozen=True)
+class AcquireDevice(Request):
+    """Block until exclusive ownership of *device* is granted.
+
+    The owner then runs its own (processor-shared) compute segments while
+    holding the device and must call ``device.release(thread)`` when done.
+    This is the polling-dispatch model used by CEDR's driverless MMIO
+    management threads (see :class:`~repro.simcore.cores.Device`).
+    """
+
+    device: "Device"
+
+
+class ThreadState(enum.Enum):
+    """Lifecycle of a simulated thread."""
+
+    READY = "ready"        # queued for dispatch at the current instant
+    RUNNING = "running"    # inside a Compute segment on some core
+    SLEEPING = "sleeping"  # timer-based suspension
+    BLOCKED = "blocked"    # waiting on wake() (mutex/cond/device/join)
+    FINISHED = "finished"  # generator exhausted
+
+
+@dataclass
+class SimThread:
+    """Bookkeeping for one simulated thread.
+
+    ``affinity`` pins the thread to a core (CEDR worker threads); ``None``
+    means floating - the engine places each compute segment on the
+    least-loaded core, approximating the Linux load balancer that spreads
+    CEDR-API application threads across the CPU pool.
+    """
+
+    name: str
+    gen: Generator[Request, Any, Any]
+    engine: "Engine"
+    affinity: "Optional[Core]" = None
+    state: ThreadState = ThreadState.READY
+    result: Any = None
+    cpu_time: float = 0.0          # dedicated-core seconds actually delivered
+    started_at: float = 0.0
+    finished_at: Optional[float] = None
+    _joiners: list["SimThread"] = field(default_factory=list)
+    _current_core: "Optional[Core]" = None
+
+    def __hash__(self) -> int:  # identity hashing: threads live in dict keys
+        return id(self)
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    @property
+    def alive(self) -> bool:
+        return self.state is not ThreadState.FINISHED
+
+    def join(self) -> Generator[Request, Any, Any]:
+        """Generator: block until this thread finishes, return its result.
+
+        Usage from another thread body: ``res = yield from t.join()``.
+        """
+        if self.state is ThreadState.FINISHED:
+            return self.result
+        caller = self.engine.current
+        if caller is None:
+            raise SimStateError("join() may only be awaited from inside a simulated thread")
+        if caller is self:
+            raise SimStateError(f"thread {self.name!r} cannot join itself")
+        self._joiners.append(caller)
+        yield Block()
+        return self.result
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<SimThread {self.name} {self.state.value}>"

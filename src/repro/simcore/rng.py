@@ -1,0 +1,42 @@
+"""Deterministic random-number utilities for reproducible simulations.
+
+All stochastic behaviour in the reproduction (noise in per-task costs,
+synthetic input frames, arrival jitter) flows through seeded
+:class:`numpy.random.Generator` streams.  Child streams are derived from a
+``(root seed, string key)`` pair so the same experiment configuration always
+sees the same randomness regardless of the order in which subsystems ask for
+their stream.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+__all__ = ["make_rng", "child_rng", "spawn_rngs"]
+
+
+def make_rng(seed: int | None = 0) -> np.random.Generator:
+    """Create the root generator for a simulation run.
+
+    ``seed=None`` yields OS entropy; every experiment driver in this
+    repository passes an explicit integer so results are reproducible.
+    """
+    return np.random.default_rng(seed)
+
+
+def child_rng(seed: int, key: str) -> np.random.Generator:
+    """Derive an independent stream keyed by ``(seed, key)``.
+
+    The key is CRC-hashed into the seed sequence, so cost-noise and
+    data-synthesis streams stay decoupled: drawing more numbers from one
+    never perturbs the other.
+    """
+    return np.random.default_rng([seed & 0x7FFFFFFF, zlib.crc32(key.encode("utf-8"))])
+
+
+def spawn_rngs(parent: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Spawn *n* statistically independent child generators from *parent*."""
+    seq = parent.bit_generator.seed_seq  # type: ignore[attr-defined]
+    return [np.random.default_rng(s) for s in seq.spawn(n)]

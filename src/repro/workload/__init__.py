@@ -1,0 +1,25 @@
+"""Workload generation: injection rates, arrival schedules, app mixes."""
+
+from .injection import (
+    paper_injection_rates,
+    periodic_arrivals,
+    poisson_arrivals,
+    reduced_injection_rates,
+)
+from .workload import (
+    WorkloadEntry,
+    WorkloadSpec,
+    autonomous_vehicle_workload,
+    radar_comms_workload,
+)
+
+__all__ = [
+    "paper_injection_rates",
+    "reduced_injection_rates",
+    "periodic_arrivals",
+    "poisson_arrivals",
+    "WorkloadEntry",
+    "WorkloadSpec",
+    "radar_comms_workload",
+    "autonomous_vehicle_workload",
+]

@@ -1,0 +1,133 @@
+"""Workload composition: which applications, how many instances, when.
+
+A :class:`WorkloadSpec` is the experiment-facing description ("5x Pulse
+Doppler + 5x WiFi TX") that, given an injection rate and a mode, expands
+into concrete (AppInstance, arrival-time) pairs ready for submission.  The
+paper's two workloads are provided as constructors:
+
+* :func:`radar_comms_workload` - 5x PD + 5x TX (Figs 5-8);
+* :func:`autonomous_vehicle_workload` - 1x LD (long-latency, continuous)
+  plus dynamically arriving PD and TX instances (Figs 9-10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.apps import CedrApplication, LaneDetection, PulseDoppler, Variant, WifiTx
+from repro.runtime.app import AppInstance
+from repro.simcore import child_rng
+
+from .injection import periodic_arrivals, poisson_arrivals
+
+__all__ = [
+    "WorkloadEntry",
+    "WorkloadSpec",
+    "radar_comms_workload",
+    "autonomous_vehicle_workload",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadEntry:
+    """One application stream inside a workload."""
+
+    app: CedrApplication
+    count: int
+    variant: Optional[Variant] = None  # None -> app's default
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError(f"stream of {self.app.name} needs count >= 1")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A mix of application streams.
+
+    ``arrival_process`` selects how each stream's instances arrive:
+    ``"periodic"`` is the paper's definition (instance *j* at
+    ``j * frame_mb / rate``); ``"poisson"`` keeps the same mean rate with
+    exponential gaps (CEDR's arbitrary-trace injection, used by the
+    arrival-process ablation).
+    """
+
+    name: str
+    entries: tuple[WorkloadEntry, ...]
+    arrival_process: str = "periodic"
+
+    def __post_init__(self) -> None:
+        if self.arrival_process not in ("periodic", "poisson"):
+            raise ValueError(f"unknown arrival process {self.arrival_process!r}")
+
+    @property
+    def total_instances(self) -> int:
+        return sum(e.count for e in self.entries)
+
+    def instantiate(
+        self, mode: str, rate_mbps: float, seed: int
+    ) -> list[tuple[AppInstance, float]]:
+        """Expand into (instance, arrival time) pairs for one run.
+
+        Input data is synthesized from a per-(seed, stream) RNG so trials
+        with different seeds see different noise/payloads but the same
+        structure; Poisson gaps draw from a separate per-stream stream so
+        arrival randomness never perturbs payload synthesis.
+        """
+        out: list[tuple[AppInstance, float]] = []
+        for entry in self.entries:
+            if self.arrival_process == "periodic":
+                arrivals = periodic_arrivals(entry.app.frame_mb, rate_mbps, entry.count)
+            else:
+                arrival_rng = child_rng(
+                    seed, f"arrivals.{self.name}.{entry.app.name}"
+                )
+                arrivals = poisson_arrivals(
+                    entry.app.frame_mb, rate_mbps, entry.count, arrival_rng
+                )
+            rng = child_rng(seed, f"workload.{self.name}.{entry.app.name}")
+            for j, t in enumerate(arrivals):
+                inst = entry.app.make_instance(mode, rng, variant=entry.variant)
+                out.append((inst, float(t)))
+        out.sort(key=lambda pair: pair[1])
+        return out
+
+
+def radar_comms_workload(
+    n_pd: int = 5,
+    n_tx: int = 5,
+    pd: Optional[PulseDoppler] = None,
+    tx: Optional[WifiTx] = None,
+    variant: Optional[Variant] = None,
+) -> WorkloadSpec:
+    """The Fig. 5-8 workload: 5 instances each of Pulse Doppler and WiFi TX."""
+    return WorkloadSpec(
+        name="radar-comms",
+        entries=(
+            WorkloadEntry(pd or PulseDoppler(), n_pd, variant),
+            WorkloadEntry(tx or WifiTx(), n_tx, variant),
+        ),
+    )
+
+
+def autonomous_vehicle_workload(
+    n_ld: int = 1,
+    n_pd: int = 5,
+    n_tx: int = 5,
+    ld: Optional[LaneDetection] = None,
+    pd: Optional[PulseDoppler] = None,
+    tx: Optional[WifiTx] = None,
+) -> WorkloadSpec:
+    """The Fig. 9-10 workload: one long-latency Lane Detection instance with
+    dynamically arriving Pulse Doppler and WiFi TX instances."""
+    return WorkloadSpec(
+        name="autonomous-vehicle",
+        entries=(
+            WorkloadEntry(ld or LaneDetection(), n_ld),
+            WorkloadEntry(pd or PulseDoppler(), n_pd),
+            WorkloadEntry(tx or WifiTx(), n_tx),
+        ),
+    )

@@ -1,0 +1,48 @@
+"""Shared fixtures for the reproduction's test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import LaneDetection, PulseDoppler, WifiTx
+from repro.platforms import jetson, zcu102
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def zcu_small():
+    """ZCU102 with one FFT accelerator (the Fig. 5 configuration)."""
+    return zcu102(n_cpu=3, n_fft=1)
+
+
+@pytest.fixture
+def zcu_fig6():
+    """ZCU102 with FFT + MMULT (the Fig. 6/7 configuration)."""
+    return zcu102(n_cpu=3, n_fft=1, n_mmult=1)
+
+
+@pytest.fixture
+def jetson_small():
+    return jetson(n_cpu=3, n_gpu=1)
+
+
+@pytest.fixture
+def pd_small():
+    """Pulse Doppler with coarse task batching (fast to simulate/execute)."""
+    return PulseDoppler(batch=16)
+
+
+@pytest.fixture
+def tx_small():
+    return WifiTx(n_packets=20, batch=4)
+
+
+@pytest.fixture
+def ld_small():
+    """Reduced-frame Lane Detection (tile 256) for functional tests."""
+    return LaneDetection(height=96, width=128, batch=32)

@@ -1,0 +1,102 @@
+"""DAG analysis tests: critical path, width, work/span."""
+
+import numpy as np
+import pytest
+
+from repro.apps import PulseDoppler
+from repro.dag import DagBuilder
+from repro.dag.analysis import (
+    critical_path,
+    parallelism_profile,
+    summarize,
+    to_networkx,
+)
+from repro.platforms import zcu102_timing
+
+
+def chain_spec(n=4):
+    b = DagBuilder("chain")
+    prev = b.kernel("k0", "fft", {"n": 64}, ["x0"], "x1")
+    for i in range(1, n):
+        prev = b.kernel(f"k{i}", "fft", {"n": 64}, [f"x{i}"], f"x{i+1}", after=[prev])
+    return b.spec()
+
+
+def diamond_spec():
+    b = DagBuilder("diamond")
+    b.kernel("src", "fft", {"n": 64}, ["x"], "a")
+    b.kernel("left", "fft", {"n": 256}, ["a"], "b", after=["src"])   # heavy
+    b.kernel("right", "fft", {"n": 64}, ["a"], "c", after=["src"])   # light
+    b.kernel("sink", "zip", {"n": 64}, ["b", "c"], "d", after=["left", "right"])
+    return b.spec()
+
+
+def test_to_networkx_structure():
+    graph = to_networkx(diamond_spec())
+    assert graph.number_of_nodes() == 4
+    assert graph.number_of_edges() == 4
+    assert set(graph.successors("src")) == {"left", "right"}
+    assert graph.nodes["left"]["api"] == "fft"
+
+
+def test_unweighted_critical_path_is_depth():
+    path, length = critical_path(chain_spec(5))
+    assert length == 5
+    assert path == [f"k{i}" for i in range(5)]
+
+
+def test_weighted_critical_path_takes_the_heavy_branch():
+    path, length = critical_path(diamond_spec(), zcu102_timing())
+    assert path == ["src", "left", "sink"]
+    t = zcu102_timing()
+    expected = (
+        t.cpu_seconds("fft", {"n": 64})
+        + t.cpu_seconds("fft", {"n": 256})
+        + t.cpu_seconds("zip", {"n": 64})
+    )
+    assert length == pytest.approx(expected)
+
+
+def test_parallelism_profile():
+    assert parallelism_profile(chain_spec(3)) == [1, 1, 1]
+    assert parallelism_profile(diamond_spec()) == [1, 2, 1]
+
+
+def test_summary_brent_bounds():
+    s = summarize(diamond_spec(), zcu102_timing())
+    assert s.n_nodes == 4 and s.n_edges == 4
+    assert s.max_width == 2
+    assert s.work_s > s.span_s                   # some parallelism exists
+    assert 1.0 < s.parallelism < s.max_width + 1  # bounded by the width-ish
+    assert s.critical_path == ("src", "left", "sink")
+
+
+def test_chain_has_no_parallelism():
+    s = summarize(chain_spec(6), zcu102_timing())
+    assert s.parallelism == pytest.approx(1.0)
+    assert s.max_width == 1
+
+
+def test_pd_dag_analysis_matches_runtime_intuition(rng):
+    """PD at batch=1 is wide (per-pulse fan-out) but has a real sequential
+    spine (fft -> zip -> ifft -> corner turn -> doppler -> detect)."""
+    pd = PulseDoppler(batch=1)
+    program, _ = pd.build_dag(pd.make_input(rng))
+    s = summarize(program.spec, zcu102_timing())
+    assert s.n_nodes == program.n_nodes
+    assert s.max_width >= 128          # the per-pulse fan-out
+    assert s.parallelism > 20          # plenty for the paper's PE pools...
+    assert len(s.critical_path) >= 6   # ...but a genuine sequential spine
+    # Brent: a runtime can never beat span; our simulated makespan respects it
+    from repro.platforms import zcu102
+    from repro.runtime import AppInstance, CedrRuntime, RuntimeConfig
+
+    platform = zcu102(n_cpu=3, n_fft=2).build(seed=0)
+    runtime = CedrRuntime(platform, RuntimeConfig(scheduler="heft_rt",
+                                                  execute_kernels=False))
+    runtime.start()
+    app = AppInstance(name="PD", mode="dag", frame_mb=pd.frame_mb, dag=program)
+    runtime.submit(app, at=0.0)
+    runtime.seal()
+    runtime.run()
+    assert app.execution_time > s.span_s * 0.5  # span is a hard-ish floor

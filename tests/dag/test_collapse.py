@@ -1,0 +1,99 @@
+"""Fig.-2 collapse transformation tests."""
+
+import numpy as np
+import pytest
+
+from repro.dag import DagBuilder, DagValidationError, collapse_subgraph, parse_dag
+from repro.platforms import zcu102_timing
+from repro.platforms.pe import CPU_ONLY_API
+
+
+def loop_spec():
+    """fft -> zip -> ifft chain over two iterations, plus head/tail."""
+    b = DagBuilder("loop")
+    b.cpu("init", lambda s: None, 1e-6)
+    prev = "init"
+    members = []
+    for i in range(2):
+        src = "y" if i == 0 else "y_0"
+        f = b.kernel(f"fft_{i}", "fft", {"n": 16}, [src], f"F_{i}", after=[prev])
+        z = b.kernel(f"zip_{i}", "zip", {"n": 16}, [f"F_{i}", "h"], f"P_{i}", after=[f])
+        iv = b.kernel(f"ifft_{i}", "ifft", {"n": 16}, [f"P_{i}"], f"y_{i}", after=[z])
+        members += [f, z, iv]
+        prev = iv
+    b.cpu("fin", lambda s: s.__setitem__("done", True), 1e-6, after=[prev])
+    return b.build_raw(), members
+
+
+def test_collapse_replaces_members_with_one_cpu_node():
+    (spec, bindings), members = loop_spec()
+    new_spec, new_bindings = collapse_subgraph(
+        spec, bindings, members, "fused", zcu102_timing()
+    )
+    names = set(new_spec["nodes"])
+    assert "fused" in names
+    assert names.isdisjoint(members)
+    fused = new_spec["nodes"]["fused"]
+    assert fused["api"] == CPU_ONLY_API
+    assert fused["after"] == ["init"]
+    assert new_spec["nodes"]["fin"]["after"] == ["fused"]
+    assert "fused" in new_bindings
+
+
+def test_collapsed_work_is_the_member_sum():
+    (spec, bindings), members = loop_spec()
+    timing = zcu102_timing()
+    new_spec, _ = collapse_subgraph(spec, bindings, members, "fused", timing)
+    expected = sum(
+        timing.cpu_seconds(spec["nodes"][m]["api"], spec["nodes"][m]["params"])
+        for m in members
+    ) * timing.cpu_clock_ghz
+    assert new_spec["nodes"]["fused"]["params"]["work_1ghz"] == pytest.approx(expected)
+
+
+def test_fused_callable_computes_the_same_result(rng):
+    (spec, bindings), members = loop_spec()
+    new_spec, new_bindings = collapse_subgraph(
+        spec, bindings, members, "fused", zcu102_timing()
+    )
+    y = rng.normal(size=16) + 1j * rng.normal(size=16)
+    h = rng.normal(size=16) + 1j * rng.normal(size=16)
+    state = {"y": y.copy(), "h": h}
+    new_bindings["fused"](state)
+    expected = y
+    for _ in range(2):
+        expected = np.fft.ifft(np.fft.fft(expected) * h)
+    assert np.allclose(state["y_1"], expected, atol=1e-8)
+
+
+def test_unknown_members_rejected():
+    (spec, bindings), members = loop_spec()
+    with pytest.raises(DagValidationError, match="unknown members"):
+        collapse_subgraph(spec, bindings, ["ghost"], "fused", zcu102_timing())
+
+
+def test_collapse_creating_cycle_rejected():
+    """Collapsing a and c with b (outside) between them: a -> b -> c becomes
+    fused -> b -> fused, a cycle."""
+    b = DagBuilder("cycle-risk")
+    b.kernel("a", "fft", {"n": 8}, ["x"], "xa")
+    b.kernel("b", "fft", {"n": 8}, ["xa"], "xb", after=["a"])
+    b.kernel("c", "fft", {"n": 8}, ["xb"], "xc", after=["b"])
+    spec, bindings = b.build_raw()
+    with pytest.raises(DagValidationError, match="cycle"):
+        collapse_subgraph(spec, bindings, ["a", "c"], "fused", zcu102_timing())
+
+
+def test_collapse_name_clash_rejected():
+    (spec, bindings), members = loop_spec()
+    with pytest.raises(DagValidationError, match="already exists"):
+        collapse_subgraph(spec, bindings, members, "fin", zcu102_timing())
+
+
+def test_collapsed_program_still_parses():
+    (spec, bindings), members = loop_spec()
+    new_spec, new_bindings = collapse_subgraph(
+        spec, bindings, members, "fused", zcu102_timing()
+    )
+    program = parse_dag(new_spec, new_bindings)
+    assert program.n_nodes == 3  # init, fused, fin

@@ -1,0 +1,126 @@
+"""DAG schema validation tests."""
+
+import pytest
+
+from repro.dag import DagValidationError, KNOWN_APIS, validate_spec
+
+
+def minimal_spec(**node_overrides):
+    node = {"api": "fft", "params": {"n": 64}, "inputs": ["x"], "output": "y"}
+    node.update(node_overrides)
+    return {"name": "t", "nodes": {"n0": node}}
+
+
+def test_known_apis_cover_kernels_and_cpu_op():
+    assert {"fft", "ifft", "zip", "gemm", "cpu_op"} <= set(KNOWN_APIS)
+
+
+def test_minimal_valid_spec_passes():
+    validate_spec(minimal_spec())
+
+
+def test_spec_must_be_mapping():
+    with pytest.raises(DagValidationError, match="mapping"):
+        validate_spec([1, 2, 3])
+
+
+def test_spec_needs_name():
+    with pytest.raises(DagValidationError, match="name"):
+        validate_spec({"nodes": {"a": {}}})
+
+
+def test_spec_needs_nodes():
+    with pytest.raises(DagValidationError, match="nodes"):
+        validate_spec({"name": "x", "nodes": {}})
+
+
+def test_unknown_api_rejected():
+    with pytest.raises(DagValidationError, match="unknown api"):
+        validate_spec(minimal_spec(api="quantum_fft"))
+
+
+def test_kernel_node_needs_inputs():
+    spec = minimal_spec()
+    del spec["nodes"]["n0"]["inputs"]
+    with pytest.raises(DagValidationError, match="inputs"):
+        validate_spec(spec)
+
+
+def test_kernel_node_needs_output():
+    spec = minimal_spec()
+    del spec["nodes"]["n0"]["output"]
+    with pytest.raises(DagValidationError, match="output"):
+        validate_spec(spec)
+
+
+def test_dangling_edge_rejected():
+    spec = minimal_spec(after=["ghost"])
+    with pytest.raises(DagValidationError, match="unknown node"):
+        validate_spec(spec)
+
+
+def test_self_dependency_rejected():
+    spec = minimal_spec(after=["n0"])
+    with pytest.raises(DagValidationError, match="itself"):
+        validate_spec(spec)
+
+
+def test_cpu_op_requires_work_param():
+    spec = {
+        "name": "t",
+        "nodes": {"c": {"api": "cpu_op", "params": {}}},
+    }
+    with pytest.raises(DagValidationError, match="work_1ghz"):
+        validate_spec(spec)
+
+
+def test_cpu_op_requires_binding_when_bindings_given():
+    spec = {
+        "name": "t",
+        "nodes": {"c": {"api": "cpu_op", "params": {"work_1ghz": 1e-6}}},
+    }
+    validate_spec(spec)  # bindings omitted: allowed (timing-only specs)
+    with pytest.raises(DagValidationError, match="binding"):
+        validate_spec(spec, bindings={})
+
+
+def test_output_key_race_rejected():
+    spec = {
+        "name": "t",
+        "nodes": {
+            "a": {"api": "fft", "params": {"n": 8}, "inputs": ["x"], "output": "y"},
+            "b": {"api": "ifft", "params": {"n": 8}, "inputs": ["x"], "output": "y"},
+        },
+    }
+    with pytest.raises(DagValidationError, match="both write"):
+        validate_spec(spec)
+
+
+def test_cycle_rejected():
+    spec = {
+        "name": "t",
+        "nodes": {
+            "a": {"api": "fft", "params": {"n": 8}, "inputs": ["x"], "output": "y",
+                  "after": ["b"]},
+            "b": {"api": "ifft", "params": {"n": 8}, "inputs": ["y"], "output": "z",
+                  "after": ["a"]},
+        },
+    }
+    with pytest.raises(DagValidationError, match="cycle"):
+        validate_spec(spec)
+
+
+def test_diamond_is_fine():
+    spec = {
+        "name": "diamond",
+        "nodes": {
+            "src": {"api": "fft", "params": {"n": 8}, "inputs": ["x"], "output": "a"},
+            "l": {"api": "fft", "params": {"n": 8}, "inputs": ["a"], "output": "b",
+                  "after": ["src"]},
+            "r": {"api": "ifft", "params": {"n": 8}, "inputs": ["a"], "output": "c",
+                  "after": ["src"]},
+            "sink": {"api": "zip", "params": {"n": 8}, "inputs": ["b", "c"],
+                     "output": "d", "after": ["l", "r"]},
+        },
+    }
+    validate_spec(spec)

@@ -1,0 +1,75 @@
+"""Experiment-driver tests on miniature grids (fast, shape-focused)."""
+
+import pytest
+
+from repro.apps import PulseDoppler, WifiTx
+from repro.experiments import (
+    run_fig5,
+    run_fig6_fig7,
+    run_once,
+    run_trials,
+    saturated_reduction,
+    sweep_rates,
+)
+from repro.platforms import zcu102
+from repro.workload import WorkloadEntry, WorkloadSpec
+
+#: small fast workload for driver-mechanics tests (the real paper workload
+#: is exercised by the benchmarks)
+TINY = WorkloadSpec(
+    "tiny",
+    (WorkloadEntry(PulseDoppler(batch=32), 2), WorkloadEntry(WifiTx(batch=20), 2)),
+)
+
+
+def test_run_once_returns_complete_result(zcu_small):
+    r = run_once(zcu_small, TINY, "dag", 100.0, "rr", seed=0)
+    assert r.n_apps == 4
+    assert r.makespan > 0
+
+
+def test_run_once_is_deterministic(zcu_small):
+    a = run_once(zcu_small, TINY, "api", 100.0, "eft", seed=5)
+    b = run_once(zcu_small, TINY, "api", 100.0, "eft", seed=5)
+    assert a.exec_times == b.exec_times
+    assert a.runtime_overhead_s == b.runtime_overhead_s
+
+
+def test_run_trials_vary_with_seed(zcu_small):
+    results = run_trials(zcu_small, TINY, "api", 100.0, "rr", trials=2, base_seed=0)
+    assert len(results) == 2
+    # different seeds -> different synthesized inputs -> identical timing
+    # model, but arrival jitter-free workloads still deterministic per seed
+    with pytest.raises(ValueError):
+        run_trials(zcu_small, TINY, "api", 100.0, "rr", trials=0)
+
+
+def test_sweep_rates_shapes(zcu_small):
+    sweep = sweep_rates(zcu_small, TINY, "api", [50.0, 500.0], "rr", trials=1)
+    xs, ys = sweep.series("exec_time")
+    assert xs == (50.0, 500.0)
+    assert len(ys) == 2
+    assert all(y > 0 for y in ys)
+    assert set(sweep.stats) >= {"exec_time", "runtime_overhead", "sched_overhead"}
+
+
+def test_fig5_driver_mini_grid():
+    fig = run_fig5(rates=[50.0, 400.0, 1500.0], trials=1)
+    assert {s.label for s in fig.series} == {"DAG-based", "API-based"}
+    for s in fig.series:
+        assert len(s.xs) == 3
+        assert all(y > 0 for y in s.ys)
+    # saturated reduction computable on the mini grid
+    reduction = saturated_reduction(fig, x_from=400.0)
+    assert -1.0 < reduction < 1.0
+
+
+def test_fig67_driver_mini_grid():
+    panels = run_fig6_fig7(rates=[100.0, 1000.0], trials=1, schedulers=("rr", "etf"))
+    assert set(panels) == {"fig6a", "fig6b", "fig7a", "fig7b"}
+    for panel in panels.values():
+        assert {s.label for s in panel.series} == {"RR", "ETF"}
+    # the headline ETF mechanism visible even on the mini grid:
+    dag_etf = panels["fig7a"].get("ETF").ys[-1]
+    api_etf = panels["fig7b"].get("ETF").ys[-1]
+    assert dag_etf > 5 * api_etf

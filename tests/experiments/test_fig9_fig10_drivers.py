@@ -1,0 +1,41 @@
+"""Small-grid tests of the fig9/fig10 drivers (bench-independent coverage)."""
+
+from repro.experiments import run_fig9, run_fig10a, run_fig10b
+from repro.experiments.fig9_versatility import av_workload_scaled
+
+
+def test_av_workload_scaled_composition():
+    wl = av_workload_scaled(ld_batch=64, app_batch=8)
+    assert wl.total_instances == 11
+    by_name = {e.app.name: e for e in wl.entries}
+    assert by_name["LD"].app.batch == 64
+    assert by_name["PD"].app.batch == 8
+    assert by_name["TX"].app.batch == 8
+
+
+def test_fig9_driver_mini_grid():
+    panels = run_fig9(rates=[100.0, 600.0], trials=1, schedulers=("rr", "heft_rt"))
+    assert set(panels) == {"fig9a", "fig9b"}
+    for panel in panels.values():
+        assert {s.label for s in panel.series} == {"RR", "HEFT_RT"}
+        for s in panel.series:
+            assert len(s.xs) == 2
+            assert all(y > 0 for y in s.ys)
+    # the platform gap: Jetson clearly below the ZCU102 at the high rate
+    zcu = panels["fig9a"].get("HEFT_RT").ys[-1]
+    jet = panels["fig9b"].get("HEFT_RT").ys[-1]
+    assert jet < zcu
+
+
+def test_fig10a_driver_mini_grid():
+    fig = run_fig10a(fft_counts=[0, 8], trials=1, schedulers=("rr",))
+    series = fig.get("RR")
+    assert series.xs == (0.0, 8.0)
+    assert series.ys[1] > series.ys[0]  # more FFTs, worse exec time
+
+
+def test_fig10b_driver_mini_grid():
+    fig = run_fig10b(cpu_counts=[1, 5, 7], trials=1, schedulers=("rr",))
+    series = fig.get("RR")
+    assert series.y_at(5.0) < series.y_at(1.0)
+    assert series.y_at(5.0) < series.y_at(7.0)

@@ -1,0 +1,70 @@
+"""Paper-granularity smoke tests: batch=1 task decomposition end to end.
+
+The figure benches batch kernel rows per task for speed; these tests run
+the *exact* per-kernel granularity the paper schedules (one task per 1-D
+FFT / per packet / per pulse) at reduced problem sizes, proving the
+batch=1 paths are first-class and that task counts land exactly where the
+paper's Section III numbers say they should.
+"""
+
+import numpy as np
+
+from repro.apps import LaneDetection, PulseDoppler, WifiTx
+from repro.platforms import zcu102
+from repro.runtime import CedrRuntime, RuntimeConfig
+
+
+def run_timing_only(app_def, mode="api", scheduler="heft_rt", n_fft=2, seed=5):
+    platform = zcu102(n_cpu=3, n_fft=n_fft).build(seed=seed)
+    runtime = CedrRuntime(platform, RuntimeConfig(scheduler=scheduler,
+                                                  execute_kernels=False))
+    runtime.start()
+    inst = app_def.make_instance(mode, np.random.default_rng(seed))
+    runtime.submit(inst, at=0.0)
+    runtime.seal()
+    runtime.run()
+    return inst, runtime
+
+
+def test_pd_batch1_issues_513_fft_class_tasks():
+    """Paper: PD's 'number of FFTs scaling to 512'."""
+    inst, runtime = run_timing_only(PulseDoppler(batch=1))
+    by_api = {}
+    for rec in runtime.logbook.tasks:
+        by_api[rec.api] = by_api.get(rec.api, 0) + 1
+    assert by_api["fft"] + by_api["ifft"] == 513
+    assert by_api["zip"] == 128
+
+
+def test_tx_batch1_issues_100_iffts():
+    """Paper: TX's 'number of FFTs scaling to 100' (one per packet)."""
+    inst, runtime = run_timing_only(WifiTx(n_packets=100, batch=1))
+    iffts = sum(1 for rec in runtime.logbook.tasks if rec.api == "ifft")
+    assert iffts == 100
+
+
+def test_ld_batch1_task_counts_scale_exactly():
+    """At a reduced 96x128 frame (tile 256) with batch=1, the LD DAG carries
+    exactly the per-row counts the 960x540 analysis predicts at tile 1024:
+    4 convs x 3 transforms x 2 passes x tile rows."""
+    ld = LaneDetection(height=96, width=128, batch=1)
+    assert ld.tile == 256
+    inst, runtime = run_timing_only(ld, mode="dag")
+    by_api = {}
+    for rec in runtime.logbook.tasks:
+        by_api[rec.api] = by_api.get(rec.api, 0) + 1
+    assert by_api["fft"] == 4 * 2 * 2 * 256   # 8 forward 2-D transforms
+    assert by_api["ifft"] == 4 * 1 * 2 * 256  # 4 inverse 2-D transforms
+    assert by_api["zip"] == 4 * 256
+    # scaled to the paper's tile this is exactly 16384 + 8192
+    scale = 1024 // ld.tile
+    assert by_api["fft"] * scale == 16384
+    assert by_api["ifft"] * scale == 8192
+
+
+def test_ld_batch1_api_mode_runs_to_completion():
+    ld = LaneDetection(height=48, width=64, batch=1)  # tile 128
+    inst, runtime = run_timing_only(ld, mode="api")
+    assert inst.finished
+    ffts = sum(1 for rec in runtime.logbook.tasks if rec.api in ("fft", "ifft"))
+    assert ffts == 12 * 2 * 128  # 12 2-D transforms x 2 passes x 128 rows

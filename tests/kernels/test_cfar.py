@@ -1,0 +1,101 @@
+"""CA-CFAR detector tests."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import radar
+
+
+def make_rd_map(geom, targets, snr_db, rng):
+    """Range-Doppler map with several synthetic point targets."""
+    pulses = np.zeros((geom.n_pulses, geom.n_fast), dtype=np.complex128)
+    ref = np.zeros(geom.n_fast, dtype=np.complex128)
+    chirp = radar.lfm_chirp(geom.n_chirp)
+    ref[: geom.n_chirp] = chirp
+    wavelength = 3e8 / geom.fc
+    p = np.arange(geom.n_pulses)
+    for range_bin, velocity in targets:
+        doppler = np.exp(2j * np.pi * (2 * velocity / wavelength) * p / geom.prf)
+        echo = np.zeros_like(pulses)
+        echo[:, range_bin : range_bin + geom.n_chirp] = chirp[None, :]
+        pulses += echo * doppler[:, None]
+    noise_power = 10.0 ** (-snr_db / 10.0)
+    pulses += (
+        rng.normal(0, np.sqrt(noise_power / 2), pulses.shape)
+        + 1j * rng.normal(0, np.sqrt(noise_power / 2), pulses.shape)
+    )
+    return radar.doppler_process(radar.pulse_compress(pulses, ref))
+
+
+def test_cfar_finds_multiple_targets(rng):
+    geom = radar.PDGeometry()
+    targets = [(40, 20.0), (120, -35.0), (170, 0.0)]
+    rd = make_rd_map(geom, targets, snr_db=20.0, rng=rng)
+    detections = radar.cfar_detect(rd, geom)
+    found_bins = {d.range_bin for d in detections}
+    for range_bin, _ in targets:
+        assert any(abs(range_bin - b) <= 1 for b in found_bins), range_bin
+
+
+def test_cfar_velocity_signs(rng):
+    geom = radar.PDGeometry()
+    rd = make_rd_map(geom, [(60, 30.0), (130, -30.0)], snr_db=25.0, rng=rng)
+    detections = radar.cfar_detect(rd, geom)
+    by_bin = {}
+    for det in detections:  # strongest-first: keep the first per range bin
+        by_bin.setdefault(det.range_bin, det)
+    assert by_bin[60].velocity_ms > 0
+    assert by_bin[130].velocity_ms < 0
+
+
+def test_cfar_noise_only_respects_pfa(rng):
+    """Pure noise: the false-alarm count must be in the Pfa ballpark."""
+    geom = radar.PDGeometry()
+    rd = make_rd_map(geom, [], snr_db=0.0, rng=rng)  # noise only
+    detections = radar.cfar_detect(rd, geom, pfa=1e-5, max_detections=1000)
+    n_cells = geom.n_pulses * geom.n_fast
+    # local-maxima dedup makes this conservative; allow a generous margin
+    assert len(detections) <= max(10, 20 * 1e-5 * n_cells)
+
+
+def test_cfar_agrees_with_argmax_on_single_target(rng):
+    geom = radar.PDGeometry()
+    pulses, ref = radar.synthesize_returns(geom, 80, 25.0, snr_db=20.0, rng=rng)
+    rd = radar.doppler_process(radar.pulse_compress(pulses, ref))
+    argmax = radar.detect_target(rd, geom)
+    cfar = radar.cfar_detect(rd, geom)
+    assert cfar, "CFAR missed a 20 dB target"
+    strongest = cfar[0]
+    assert strongest.range_bin == argmax.range_bin
+    assert strongest.doppler_bin == argmax.doppler_bin
+
+
+def test_cfar_detections_sorted_strongest_first(rng):
+    """'Strongest' means cell power, not local SNR (the noise estimate
+    varies cell to cell)."""
+    geom = radar.PDGeometry()
+    rd = make_rd_map(geom, [(50, 10.0), (150, -20.0)], snr_db=22.0, rng=rng)
+    detections = radar.cfar_detect(rd, geom)
+    power = np.abs(rd) ** 2
+    powers = [power[d.doppler_bin, d.range_bin] for d in detections]
+    assert powers == sorted(powers, reverse=True)
+
+
+def test_cfar_parameter_validation(rng):
+    geom = radar.PDGeometry()
+    rd = np.ones((geom.n_pulses, geom.n_fast), dtype=complex)
+    with pytest.raises(ValueError):
+        radar.cfar_detect(rd[0], geom)
+    with pytest.raises(ValueError):
+        radar.cfar_detect(rd, geom, guard=-1)
+    with pytest.raises(ValueError):
+        radar.cfar_detect(rd, geom, pfa=2.0)
+    with pytest.raises(ValueError):
+        radar.cfar_detect(rd, geom, train=200)  # window exceeds map
+
+
+def test_cfar_max_detections_cap(rng):
+    geom = radar.PDGeometry()
+    rd = make_rd_map(geom, [(30, 5.0), (90, 15.0), (150, -15.0)], snr_db=25.0, rng=rng)
+    detections = radar.cfar_detect(rd, geom, max_detections=2)
+    assert len(detections) == 2

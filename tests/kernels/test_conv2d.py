@@ -1,0 +1,160 @@
+"""2-D convolution tests: spatial/FFT-domain equivalence and task counts."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels.conv2d import (
+    conv2d_fft,
+    conv2d_spatial,
+    fft2_rows_cols,
+    fft_conv_task_counts,
+    ifft2_rows_cols,
+    next_pow2,
+)
+from repro.kernels.vision import gaussian_kernel, sobel_kernels
+
+
+def test_next_pow2():
+    assert next_pow2(1) == 1
+    assert next_pow2(2) == 2
+    assert next_pow2(3) == 4
+    assert next_pow2(960 + 4) == 1024
+    with pytest.raises(ValueError):
+        next_pow2(0)
+
+
+def test_identity_kernel_is_noop(rng):
+    img = rng.normal(size=(9, 13))
+    delta = np.zeros((3, 3))
+    delta[1, 1] = 1.0
+    assert np.allclose(conv2d_spatial(img, delta), img)
+    assert np.allclose(conv2d_fft(img, delta), img, atol=1e-10)
+
+
+def test_spatial_conv_matches_scipy_oracle(rng):
+    from scipy.signal import convolve2d
+
+    img = rng.normal(size=(8, 11))
+    k = rng.normal(size=(3, 5))
+    assert np.allclose(conv2d_spatial(img, k), convolve2d(img, k, mode="same"))
+
+
+@given(
+    h=st.integers(6, 40),
+    w=st.integers(6, 40),
+    ksel=st.sampled_from(["gauss3", "gauss5", "sobel"]),
+    seed=st.integers(0, 2**31),
+)
+@settings(max_examples=30, deadline=None)
+def test_fft_conv_matches_spatial(h, w, ksel, seed):
+    rng = np.random.default_rng(seed)
+    img = rng.normal(size=(h, w))
+    kernel = {
+        "gauss3": gaussian_kernel(3, 0.8),
+        "gauss5": gaussian_kernel(5, 1.5),
+        "sobel": sobel_kernels()[0],
+    }[ksel]
+    assert np.allclose(conv2d_fft(img, kernel), conv2d_spatial(img, kernel), atol=1e-8)
+
+
+def test_conv_shape_errors():
+    with pytest.raises(ValueError):
+        conv2d_spatial(np.zeros(5), np.zeros((3, 3)))
+    with pytest.raises(ValueError):
+        conv2d_spatial(np.zeros((5, 5)), np.zeros(3))
+
+
+def test_fft2_rows_cols_matches_numpy(rng):
+    tile = rng.normal(size=(32, 32)) + 1j * rng.normal(size=(32, 32))
+    assert np.allclose(fft2_rows_cols(tile), np.fft.fft2(tile), atol=1e-8)
+    assert np.allclose(ifft2_rows_cols(fft2_rows_cols(tile)), tile, atol=1e-10)
+
+
+def test_injectable_transforms_are_used(rng):
+    calls = {"fft": 0}
+
+    def counting_fft(x):
+        calls["fft"] += 1
+        return np.fft.fft(x, axis=-1)
+
+    tile = rng.normal(size=(16, 16))
+    fft2_rows_cols(tile, fft_1d=counting_fft)
+    assert calls["fft"] == 2  # one batched row pass + one batched column pass
+
+
+def test_task_counts_match_paper_lane_detection_claim():
+    """Paper Section III: a 960x540 frame yields 16384 1024-point FFTs and
+    8192 IFFTs.  Four FFT-domain convolutions at 5x5 kernels on a 1024 tile
+    give exactly that."""
+    counts = fft_conv_task_counts(540, 960, 5, 5)
+    assert counts["tile"] == 1024
+    assert 4 * counts["fft"] == 16384
+    assert 4 * counts["ifft"] == 8192
+
+
+def test_task_counts_small_tile():
+    counts = fft_conv_task_counts(20, 30, 3, 3)
+    assert counts["tile"] == 32
+    assert counts["fft"] == 4 * 32
+    assert counts["ifft"] == 2 * 32
+    assert counts["zip"] == 1
+
+
+# --------------------------------------------------------------------- #
+# overlap-save tiling (the Abtahi-style alternative LD cites)
+# --------------------------------------------------------------------- #
+
+@given(
+    h=st.integers(8, 60),
+    w=st.integers(8, 60),
+    tile=st.sampled_from([8, 16, 32, 64]),
+    seed=st.integers(0, 2**31),
+)
+@settings(max_examples=25, deadline=None)
+def test_tiled_conv_matches_spatial(h, w, tile, seed):
+    from repro.kernels.conv2d import conv2d_fft_tiled
+
+    rng = np.random.default_rng(seed)
+    img = rng.normal(size=(h, w))
+    kernel = gaussian_kernel(5, 1.1)
+    assert np.allclose(
+        conv2d_fft_tiled(img, kernel, tile=tile), conv2d_spatial(img, kernel),
+        atol=1e-8,
+    )
+
+
+def test_tiled_conv_matches_whole_image_fft(rng):
+    from repro.kernels.conv2d import conv2d_fft_tiled
+
+    img = rng.normal(size=(48, 72))
+    kernel = sobel_kernels()[1]
+    assert np.allclose(
+        conv2d_fft_tiled(img, kernel, tile=16), conv2d_fft(img, kernel), atol=1e-8
+    )
+
+
+def test_tiled_conv_rejects_even_kernels(rng):
+    from repro.kernels.conv2d import conv2d_fft_tiled
+
+    with pytest.raises(ValueError, match="odd kernel"):
+        conv2d_fft_tiled(rng.normal(size=(16, 16)), np.ones((4, 3)))
+    with pytest.raises(ValueError, match="tile must be positive"):
+        conv2d_fft_tiled(rng.normal(size=(16, 16)), np.ones((3, 3)), tile=0)
+
+
+def test_tiled_conv_uses_small_transforms(rng):
+    """The point of tiling: per-task transform size stays fixed and small
+    regardless of image size."""
+    from repro.kernels.conv2d import conv2d_fft_tiled
+
+    sizes = []
+
+    def spy_fft(x):
+        sizes.append(x.shape[-1])
+        return np.fft.fft(x, axis=-1)
+
+    img = rng.normal(size=(70, 90))
+    conv2d_fft_tiled(img, gaussian_kernel(5, 1.0), tile=32, fft_1d=spy_fft)
+    assert set(sizes) == {64}  # next_pow2(32 + 4) - never the image-padded 128

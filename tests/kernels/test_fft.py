@@ -1,0 +1,119 @@
+"""FFT kernel tests: the from-scratch radix-2 transform vs numpy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import fft as F
+
+pow2_sizes = st.sampled_from([2, 4, 8, 16, 64, 128, 256, 1024])
+
+
+def random_complex(rng, shape):
+    return rng.normal(size=shape) + 1j * rng.normal(size=shape)
+
+
+def test_is_power_of_two():
+    assert F.is_power_of_two(1)
+    assert F.is_power_of_two(1024)
+    assert not F.is_power_of_two(0)
+    assert not F.is_power_of_two(3)
+    assert not F.is_power_of_two(-4)
+
+
+def test_bit_reverse_is_a_permutation():
+    for n in (2, 8, 64, 256):
+        idx = F.bit_reverse_indices(n)
+        assert sorted(idx.tolist()) == list(range(n))
+
+
+def test_bit_reverse_is_an_involution():
+    idx = F.bit_reverse_indices(128)
+    assert np.array_equal(idx[idx], np.arange(128))
+
+
+def test_bit_reverse_rejects_non_pow2():
+    with pytest.raises(ValueError):
+        F.bit_reverse_indices(12)
+
+
+@given(n=pow2_sizes, seed=st.integers(0, 2**31))
+@settings(max_examples=40, deadline=None)
+def test_fft_matches_numpy(n, seed):
+    x = random_complex(np.random.default_rng(seed), n)
+    assert np.allclose(F.fft(x), np.fft.fft(x), atol=1e-8)
+
+
+@given(n=pow2_sizes, seed=st.integers(0, 2**31))
+@settings(max_examples=40, deadline=None)
+def test_ifft_roundtrip_is_identity(n, seed):
+    x = random_complex(np.random.default_rng(seed), n)
+    assert np.allclose(F.ifft(F.fft(x)), x, atol=1e-10)
+
+
+@given(seed=st.integers(0, 2**31))
+@settings(max_examples=20, deadline=None)
+def test_fft_linearity(seed):
+    rng = np.random.default_rng(seed)
+    x = random_complex(rng, 128)
+    y = random_complex(rng, 128)
+    a, b = 2.5, -1.25 + 0.5j
+    assert np.allclose(F.fft(a * x + b * y), a * F.fft(x) + b * F.fft(y), atol=1e-8)
+
+
+@given(seed=st.integers(0, 2**31))
+@settings(max_examples=20, deadline=None)
+def test_parseval_energy_preserved(seed):
+    x = random_complex(np.random.default_rng(seed), 256)
+    time_energy = np.sum(np.abs(x) ** 2)
+    freq_energy = np.sum(np.abs(F.fft(x)) ** 2) / 256
+    assert np.isclose(time_energy, freq_energy, rtol=1e-10)
+
+
+def test_batched_transform_matches_per_row(rng):
+    x = random_complex(rng, (7, 64))
+    batched = F.fft(x)
+    rows = np.stack([F.fft(row) for row in x])
+    assert np.allclose(batched, rows, atol=1e-10)
+    assert np.allclose(batched, np.fft.fft(x, axis=-1), atol=1e-8)
+
+
+def test_three_dimensional_batch(rng):
+    x = random_complex(rng, (2, 3, 32))
+    assert np.allclose(F.fft(x), np.fft.fft(x, axis=-1), atol=1e-8)
+
+
+def test_real_input_promoted(rng):
+    x = rng.normal(size=64)
+    assert np.allclose(F.fft(x), np.fft.fft(x), atol=1e-8)
+
+
+def test_dc_impulse_spectra():
+    delta = np.zeros(16, dtype=complex)
+    delta[0] = 1.0
+    assert np.allclose(F.fft(delta), np.ones(16), atol=1e-12)
+    const = np.ones(16, dtype=complex)
+    spec = F.fft(const)
+    assert np.isclose(spec[0], 16)
+    assert np.allclose(spec[1:], 0, atol=1e-12)
+
+
+def test_non_pow2_rejected():
+    with pytest.raises(ValueError):
+        F.fft(np.zeros(12, dtype=complex))
+    with pytest.raises(ValueError):
+        F.ifft(np.zeros(7, dtype=complex))
+
+
+def test_accel_variants_match_reference(rng):
+    x = random_complex(rng, (4, 256))
+    assert np.allclose(F.fft_accel(x), F.fft(x), atol=1e-8)
+    assert np.allclose(F.ifft_accel(x), F.ifft(x), atol=1e-8)
+
+
+def test_accel_variants_enforce_pow2():
+    with pytest.raises(ValueError):
+        F.fft_accel(np.zeros(10, dtype=complex))
+    with pytest.raises(ValueError):
+        F.ifft_accel(np.zeros(10, dtype=complex))

@@ -1,0 +1,66 @@
+"""Kernel registry tests: the (API, PE kind) implementation table."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.registry import (
+    KERNEL_IMPLS,
+    apis_for_kind,
+    implementation_for,
+    supported_apis,
+)
+from repro.platforms.pe import PEKind, SUPPORT_MATRIX, CPU_ONLY_API
+
+
+def test_every_support_matrix_entry_has_an_implementation():
+    """The platform support matrix and the functional registry must agree:
+    every (api, kind) the scheduler may pick must be executable."""
+    for kind, apis in SUPPORT_MATRIX.items():
+        for api in apis:
+            if api == CPU_ONLY_API:
+                continue  # cpu_op executes via its binding, not the registry
+            assert (api, kind) in KERNEL_IMPLS, f"missing impl for {api}/{kind}"
+
+
+def test_cpu_implements_every_api():
+    """Paper requirement: all APIs provide at minimum a C/C++ (CPU) path."""
+    for api in supported_apis():
+        implementation_for(api, PEKind.CPU)
+
+
+def test_unknown_pair_raises_keyerror():
+    with pytest.raises(KeyError, match="no mmult implementation"):
+        implementation_for("fft", PEKind.MMULT)
+
+
+def test_apis_for_kind():
+    assert apis_for_kind(PEKind.FFT) == frozenset({"fft", "ifft"})
+    assert apis_for_kind(PEKind.MMULT) == frozenset({"gemm"})
+    assert apis_for_kind(PEKind.GPU) == frozenset({"fft", "ifft", "zip"})
+
+
+@pytest.mark.parametrize("api", ["fft", "ifft"])
+def test_heterogeneous_fft_impls_agree(api, rng):
+    """All implementations of one API are functionally interchangeable -
+    the property CEDR's dynamic function-pointer dispatch depends on."""
+    x = rng.normal(size=(3, 128)) + 1j * rng.normal(size=(3, 128))
+    kinds = [k for (a, k) in KERNEL_IMPLS if a == api]
+    results = [implementation_for(api, k)(x) for k in kinds]
+    for r in results[1:]:
+        assert np.allclose(r, results[0], atol=1e-8)
+
+
+def test_zip_impls_agree(rng):
+    a = rng.normal(size=64) + 1j * rng.normal(size=64)
+    b = rng.normal(size=64) - 1j * rng.normal(size=64)
+    cpu = implementation_for("zip", PEKind.CPU)((a, b))
+    gpu = implementation_for("zip", PEKind.GPU)((a, b))
+    assert np.allclose(cpu, gpu)
+
+
+def test_gemm_impls_agree(rng):
+    a = rng.normal(size=(8, 5))
+    b = rng.normal(size=(5, 9))
+    cpu = implementation_for("gemm", PEKind.CPU)((a, b))
+    mm = implementation_for("gemm", PEKind.MMULT)((a, b))
+    assert np.allclose(cpu, mm)

@@ -1,0 +1,132 @@
+"""Lane-detection vision kernel tests."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import vision
+
+
+def test_grayscale_weights_sum_to_one(rng):
+    white = np.ones((4, 4, 3))
+    assert np.allclose(vision.to_grayscale(white), 1.0)
+
+
+def test_grayscale_favors_green(rng):
+    red = np.zeros((2, 2, 3)); red[..., 0] = 1.0
+    green = np.zeros((2, 2, 3)); green[..., 1] = 1.0
+    assert vision.to_grayscale(green).mean() > vision.to_grayscale(red).mean()
+
+
+def test_grayscale_shape_check():
+    with pytest.raises(ValueError):
+        vision.to_grayscale(np.zeros((4, 4)))
+
+
+def test_gaussian_kernel_normalized_and_symmetric():
+    k = vision.gaussian_kernel(5, 1.3)
+    assert k.shape == (5, 5)
+    assert k.sum() == pytest.approx(1.0)
+    assert np.allclose(k, k.T)
+    assert np.allclose(k, k[::-1, ::-1])
+    assert k[2, 2] == k.max()
+
+
+def test_gaussian_kernel_rejects_even_size():
+    with pytest.raises(ValueError):
+        vision.gaussian_kernel(4, 1.0)
+
+
+def test_sobel_kernels_are_antisymmetric():
+    gx, gy = vision.sobel_kernels()
+    assert np.allclose(gx, -gx[:, ::-1])
+    assert np.allclose(gy, -gy[::-1, :])
+    assert np.allclose(gy, gx.T)
+    assert gx.sum() == 0.0
+
+
+def test_gradient_magnitude(rng):
+    gx = rng.normal(size=(6, 6))
+    gy = rng.normal(size=(6, 6))
+    assert np.allclose(vision.gradient_magnitude(gx, gy), np.hypot(gx, gy))
+    with pytest.raises(ValueError):
+        vision.gradient_magnitude(np.zeros((2, 2)), np.zeros((3, 3)))
+
+
+def test_threshold_keeps_requested_fraction(rng):
+    mag = rng.random((50, 50))
+    edges = vision.threshold_edges(mag, quantile=0.9)
+    assert 0.05 < edges.mean() < 0.15
+    with pytest.raises(ValueError):
+        vision.threshold_edges(mag, quantile=1.5)
+
+
+def test_roi_mask_keeps_lower_center():
+    mask = vision.roi_mask((100, 100), horizon=0.4)
+    assert not mask[:39].any()          # sky masked out
+    assert mask[99, 50]                 # bottom center kept
+    assert not mask[45, 2]              # upper edges masked
+    assert mask.sum() > 0
+
+
+def test_hough_recovers_a_straight_line():
+    edges = np.zeros((64, 64), dtype=bool)
+    # the line x = y (45 degrees): rho = 0 at theta = -45deg in the
+    # (x cos t + y sin t) parameterization
+    for i in range(64):
+        edges[i, i] = True
+    acc, thetas, rhos = vision.hough_lines(edges)
+    r_i, t_i = np.unravel_index(int(np.argmax(acc)), acc.shape)
+    theta_deg = np.degrees(thetas[t_i])
+    assert abs(abs(theta_deg) - 45.0) < 4.0
+    assert abs(rhos[r_i]) < 4.0
+    # -45 deg is not exactly on the theta grid, so rho quantization spreads
+    # the 64 votes over neighbouring bins; the winner still dominates.
+    assert acc.max() >= 20
+    assert acc.sum() == 64 * len(thetas)  # one vote per pixel per angle
+
+
+def test_hough_empty_edge_map():
+    acc, thetas, rhos = vision.hough_lines(np.zeros((16, 16), dtype=bool))
+    assert acc.sum() == 0
+    with pytest.raises(ValueError):
+        vision.hough_lines(np.zeros(16, dtype=bool))
+
+
+def test_extract_lanes_finds_both_sides(rng):
+    frame = vision.synthesize_road_frame(120, 160, rng)
+    gray = vision.to_grayscale(frame)
+    gx, gy = vision.sobel_kernels()
+    from repro.kernels.conv2d import conv2d_spatial
+
+    mag = vision.gradient_magnitude(conv2d_spatial(gray, gx), conv2d_spatial(gray, gy))
+    edges = vision.threshold_edges(mag) & vision.roi_mask(gray.shape)
+    acc, thetas, rhos = vision.hough_lines(edges)
+    left, right = vision.extract_lanes(acc, thetas, rhos)
+    assert left is not None and right is not None
+    assert left.theta < 0 < right.theta
+    assert left.votes > 10 and right.votes > 10
+
+
+def test_extract_lanes_empty_accumulator():
+    acc = np.zeros((32, 45), dtype=np.int64)
+    thetas = np.linspace(-np.pi / 2, np.pi / 2, 45, endpoint=False)
+    rhos = np.linspace(-50, 50, 32)
+    left, right = vision.extract_lanes(acc, thetas, rhos)
+    assert left is None and right is None
+
+
+def test_lane_estimate_x_at():
+    est = vision.LaneEstimate(rho=10.0, theta=0.0, votes=5)
+    assert est.x_at(123.0) == pytest.approx(10.0)  # vertical line x = rho
+    horizontal = vision.LaneEstimate(rho=10.0, theta=np.pi / 2, votes=5)
+    assert np.isnan(horizontal.x_at(0.0))
+
+
+def test_synthesize_road_frame_properties(rng):
+    frame = vision.synthesize_road_frame(80, 120, rng)
+    assert frame.shape == (80, 120, 3)
+    assert frame.min() >= 0.0 and frame.max() <= 1.0
+    # sky brighter than road
+    assert frame[:20].mean() > frame[60:].mean()
+    with pytest.raises(ValueError):
+        vision.synthesize_road_frame(8, 8, rng)

@@ -1,0 +1,97 @@
+"""ZIP and GEMM kernel tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels.mmult import gemm, gemm_blocked
+from repro.kernels.zip_ import zip_conj_product, zip_product
+
+dims = st.integers(min_value=1, max_value=40)
+
+
+def test_zip_product_basic(rng):
+    a = rng.normal(size=100) + 1j * rng.normal(size=100)
+    b = rng.normal(size=100) + 1j * rng.normal(size=100)
+    assert np.allclose(zip_product(a, b), a * b)
+
+
+def test_zip_shape_mismatch_rejected(rng):
+    with pytest.raises(ValueError):
+        zip_product(np.zeros(4), np.zeros(5))
+    with pytest.raises(ValueError):
+        zip_conj_product(np.zeros((2, 3)), np.zeros((3, 2)))
+
+
+def test_zip_no_silent_broadcast():
+    with pytest.raises(ValueError):
+        zip_product(np.zeros((4, 8)), np.zeros(8))
+
+
+def test_zip_conj_product_conjugates_second(rng):
+    a = rng.normal(size=16) + 1j * rng.normal(size=16)
+    b = rng.normal(size=16) + 1j * rng.normal(size=16)
+    assert np.allclose(zip_conj_product(a, b), a * np.conj(b))
+
+
+def test_zip_2d_matches_elementwise(rng):
+    a = rng.normal(size=(5, 7))
+    b = rng.normal(size=(5, 7))
+    assert np.allclose(zip_product(a, b), a * b)
+
+
+@given(m=dims, k=dims, n=dims, seed=st.integers(0, 2**31))
+@settings(max_examples=40, deadline=None)
+def test_gemm_matches_blocked_reference(m, k, n, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(m, k))
+    b = rng.normal(size=(k, n))
+    assert np.allclose(gemm(a, b), gemm_blocked(a, b), atol=1e-9)
+
+
+def test_gemm_identity(rng):
+    a = rng.normal(size=(6, 6))
+    assert np.allclose(gemm(a, np.eye(6)), a)
+
+
+def test_gemm_alpha_beta(rng):
+    a = rng.normal(size=(4, 5))
+    b = rng.normal(size=(5, 3))
+    c = rng.normal(size=(4, 3))
+    out = gemm(a, b, c=c, alpha=2.0, beta=-0.5)
+    assert np.allclose(out, 2.0 * (a @ b) - 0.5 * c)
+
+
+def test_gemm_beta_requires_c(rng):
+    with pytest.raises(ValueError):
+        gemm(np.zeros((2, 2)), np.zeros((2, 2)), beta=1.0)
+
+
+def test_gemm_shape_errors():
+    with pytest.raises(ValueError):
+        gemm(np.zeros((2, 3)), np.zeros((4, 5)))
+    with pytest.raises(ValueError):
+        gemm(np.zeros(3), np.zeros((3, 2)))
+    with pytest.raises(ValueError):
+        gemm(np.zeros((2, 3)), np.zeros((3, 2)), c=np.zeros((3, 3)), beta=1.0)
+
+
+def test_gemm_does_not_mutate_c(rng):
+    a = rng.normal(size=(3, 3))
+    b = rng.normal(size=(3, 3))
+    c = rng.normal(size=(3, 3))
+    c_copy = c.copy()
+    gemm(a, b, c=c, beta=1.0)
+    assert np.array_equal(c, c_copy)
+
+
+def test_gemm_blocked_non_multiple_of_block(rng):
+    a = rng.normal(size=(33, 47))
+    b = rng.normal(size=(47, 29))
+    assert np.allclose(gemm_blocked(a, b, block=16), a @ b, atol=1e-9)
+
+
+def test_gemm_blocked_shape_errors():
+    with pytest.raises(ValueError):
+        gemm_blocked(np.zeros((2, 3)), np.zeros((4, 5)))

@@ -1,0 +1,122 @@
+"""Timing-model tests: cost monotonicity, scaling, and error paths."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.platforms import PE, PEDescriptor, PEKind, jetson_timing, zcu102_timing
+
+pow2 = st.sampled_from([64, 128, 256, 512, 1024])
+
+
+def make_pe(kind, name="pe"):
+    return PE(index=0, desc=PEDescriptor(name=name, kind=kind, clock_ghz=1.0))
+
+
+def test_cpu_fft_scales_with_n_log_n():
+    t = zcu102_timing()
+    c256 = t.cpu_seconds("fft", {"n": 256})
+    c1024 = t.cpu_seconds("fft", {"n": 1024})
+    assert c1024 / c256 == pytest.approx((1024 * 10) / (256 * 8))
+
+
+@given(n=pow2, batch=st.integers(1, 64))
+@settings(max_examples=30, deadline=None)
+def test_batch_scales_linearly(n, batch):
+    t = zcu102_timing()
+    single = t.cpu_seconds("fft", {"n": n, "batch": 1})
+    batched = t.cpu_seconds("fft", {"n": n, "batch": batch})
+    assert batched == pytest.approx(single * batch)
+
+
+def test_faster_clock_is_cheaper():
+    z, j = zcu102_timing(), jetson_timing()
+    params = {"n": 1024}
+    assert j.cpu_seconds("fft", params) < z.cpu_seconds("fft", params)
+    assert j.cpu_seconds("fft", params) == pytest.approx(
+        z.cpu_seconds("fft", params) * 1.2 / 2.3
+    )
+
+
+def test_cpu_op_uses_work_param():
+    t = zcu102_timing()
+    assert t.cpu_seconds("cpu_op", {"work_1ghz": 1.2e-3}) == pytest.approx(1e-3)
+
+
+def test_unknown_api_raises():
+    t = zcu102_timing()
+    with pytest.raises(KeyError):
+        t.cpu_seconds("dct", {"n": 8})
+    with pytest.raises(KeyError):
+        t.accel_parts("dct", {"n": 8}, PEKind.FFT)
+
+
+def test_fft_ip_point_limit():
+    t = zcu102_timing()
+    t.accel_parts("fft", {"n": 2048}, PEKind.FFT)
+    with pytest.raises(ValueError, match="2048-point"):
+        t.accel_parts("fft", {"n": 4096}, PEKind.FFT)
+
+
+def test_accel_parts_all_positive():
+    t = zcu102_timing()
+    parts = t.accel_parts("fft", {"n": 1024, "batch": 4}, PEKind.FFT)
+    assert parts.setup > 0 and parts.busy > 0 and parts.teardown > 0
+    assert parts.total == pytest.approx(parts.setup + parts.busy + parts.teardown)
+
+
+def test_fabric_parity_calibration():
+    """DESIGN.md: the ZCU102 FFT IP is calibrated near CPU parity for the
+    paper's sizes, so accelerators add threads, not free capacity."""
+    t = zcu102_timing()
+    for n in (256, 1024):
+        cpu = t.cpu_seconds("fft", {"n": n})
+        accel = t.accel_parts("fft", {"n": n}, PEKind.FFT).total
+        assert 0.7 <= accel / cpu <= 1.6, f"parity broken at n={n}: {accel/cpu:.2f}"
+
+
+def test_jetson_gpu_is_a_genuine_win():
+    """The Jetson figures need a genuinely fast GPU path."""
+    t = jetson_timing()
+    cpu = t.cpu_seconds("fft", {"n": 1024, "batch": 8})
+    gpu = t.accel_parts("fft", {"n": 1024, "batch": 8}, PEKind.GPU).total
+    assert gpu < cpu / 3
+
+
+def test_estimate_matches_paths():
+    t = zcu102_timing()
+    cpu_pe = make_pe(PEKind.CPU, "cpu0")
+    fft_pe = make_pe(PEKind.FFT, "fft0")
+    params = {"n": 512, "batch": 2}
+    assert t.estimate("fft", params, cpu_pe) == pytest.approx(t.cpu_seconds("fft", params))
+    assert t.estimate("fft", params, fft_pe) == pytest.approx(
+        t.accel_parts("fft", params, PEKind.FFT).total
+    )
+
+
+def test_mmult_and_gpu_zip_models():
+    z = zcu102_timing()
+    parts = z.accel_parts("gemm", {"m": 64, "k": 64, "n": 64}, PEKind.MMULT)
+    assert parts.total > 0
+    j = jetson_timing()
+    zp = j.accel_parts("zip", {"n": 4096}, PEKind.GPU)
+    assert zp.setup > zp.busy  # memcpy/launch dominated
+
+
+def test_noise_sampling():
+    t = zcu102_timing()
+    assert t.sample_factor(None) == 1.0
+    noisy = t.with_noise(0.1)
+    rng = np.random.default_rng(0)
+    draws = [noisy.sample_factor(rng) for _ in range(200)]
+    assert all(d > 0 for d in draws)
+    assert 0.9 < float(np.median(draws)) < 1.1
+    assert len(set(draws)) > 100  # actually random
+
+
+def test_conv2d_cost_model():
+    t = zcu102_timing()
+    small = t.cpu_seconds("conv2d", {"h": 10, "w": 10, "kh": 3, "kw": 3})
+    big = t.cpu_seconds("conv2d", {"h": 20, "w": 10, "kh": 3, "kw": 3})
+    assert big == pytest.approx(2 * small)

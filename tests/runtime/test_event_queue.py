@@ -1,0 +1,76 @@
+"""EventQueue tests: the daemon's single-consumer mailbox."""
+
+import pytest
+
+from repro.runtime.daemon import EventQueue
+from repro.simcore import Compute, Engine, SimStateError
+
+
+def test_post_then_get_batch_drains_everything():
+    eng = Engine(cores=1)
+    q = EventQueue(eng)
+    got = []
+
+    def consumer():
+        batch = yield from q.get_batch()
+        got.extend(batch)
+
+    q.post(("a", 1))
+    q.post(("b", 2))
+    eng.spawn(consumer(), "daemon")
+    eng.run()
+    assert got == [("a", 1), ("b", 2)]
+
+
+def test_get_batch_blocks_until_post():
+    eng = Engine(cores=1)
+    q = EventQueue(eng)
+    woke = {}
+
+    def consumer():
+        batch = yield from q.get_batch()
+        woke["at"] = eng.now
+        woke["batch"] = batch
+
+    eng.spawn(consumer(), "daemon")
+    eng.call_at(0.3, lambda: q.post(("late", None)))
+    eng.run()
+    assert woke["at"] == pytest.approx(0.3)
+    assert woke["batch"] == [("late", None)]
+
+
+def test_posts_during_consumer_work_batch_up():
+    eng = Engine(cores=1)
+    q = EventQueue(eng)
+    batches = []
+
+    def consumer():
+        for _ in range(2):
+            batch = yield from q.get_batch()
+            batches.append(list(batch))
+            yield Compute(0.5)  # while busy, more events accumulate
+
+    def producer():
+        yield from ()
+        return None
+
+    eng.spawn(consumer(), "daemon")
+    q.post(("first", None))
+    for t in (0.1, 0.2, 0.3):
+        eng.call_at(t, lambda t=t: q.post(("during", t)))
+    eng.run()
+    assert batches[0] == [("first", None)]
+    assert [kind for kind, _ in batches[1]] == ["during"] * 3
+
+
+def test_second_consumer_rejected():
+    eng = Engine(cores=2)
+    q = EventQueue(eng)
+
+    def consumer():
+        yield from q.get_batch()
+
+    eng.spawn(consumer(), "daemon1")
+    eng.spawn(consumer(), "daemon2")
+    with pytest.raises(SimStateError, match="single consumer"):
+        eng.run()

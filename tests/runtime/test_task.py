@@ -1,0 +1,113 @@
+"""Task descriptor and completion-handle tests."""
+
+import pytest
+
+from repro.runtime.task import CompletionHandle, Task, TaskState
+from repro.simcore import Compute, Engine
+
+
+def test_task_defaults():
+    t = Task(api="fft", params={"n": 64}, app_id=1)
+    assert t.state is TaskState.CREATED
+    assert t.n_deps == 0
+    assert t.successors == []
+
+
+def test_task_ids_unique():
+    a = Task(api="fft", params={}, app_id=0)
+    b = Task(api="fft", params={}, app_id=0)
+    assert a.tid != b.tid
+    assert a != b
+    assert len({a, b}) == 2
+
+
+def test_add_successor_bumps_deps():
+    a = Task(api="fft", params={}, app_id=0)
+    b = Task(api="zip", params={}, app_id=0)
+    a.add_successor(b)
+    assert b.n_deps == 1
+    assert a.successors == [b]
+
+
+def test_timing_properties():
+    t = Task(api="fft", params={}, app_id=0)
+    t.t_release, t.t_scheduled, t.t_start, t.t_finish = 1.0, 2.0, 3.0, 5.0
+    assert t.queue_wait == pytest.approx(1.0)
+    assert t.service_time == pytest.approx(2.0)
+
+
+def test_completion_handle_fig4_protocol():
+    """App thread sleeps in wait(); worker signals via complete()."""
+    eng = Engine(cores=2)
+    handle = CompletionHandle(eng, "t")
+    events = []
+
+    def app_thread():
+        value = yield from handle.wait()
+        events.append(("woke", eng.now, value))
+
+    def worker_thread():
+        yield Compute(0.3)
+        yield from handle.complete("result!")
+
+    eng.spawn(app_thread(), "app")
+    eng.spawn(worker_thread(), "worker")
+    eng.run()
+    assert events == [("woke", pytest.approx(0.3), "result!")]
+
+
+def test_completion_wait_after_complete_is_immediate():
+    eng = Engine(cores=1)
+    handle = CompletionHandle(eng, "t")
+
+    def worker():
+        yield from handle.complete(42)
+
+    def late_waiter():
+        yield Compute(0.5)
+        value = yield from handle.wait()
+        return value
+
+    eng.spawn(worker(), "w")
+    late = eng.spawn(late_waiter(), "late")
+    eng.run()
+    assert late.result == 42
+    assert late.finished_at == pytest.approx(0.5)  # no extra blocking
+
+
+def test_completion_wait_is_idempotent():
+    eng = Engine(cores=1)
+    handle = CompletionHandle(eng, "t")
+
+    def worker():
+        yield from handle.complete("x")
+
+    def waiter():
+        a = yield from handle.wait()
+        b = yield from handle.wait()
+        return (a, b)
+
+    eng.spawn(worker(), "w")
+    t = eng.spawn(waiter(), "waiter")
+    eng.run()
+    assert t.result == ("x", "x")
+
+
+def test_multiple_waiters_all_wake():
+    eng = Engine(cores=4)
+    handle = CompletionHandle(eng, "t")
+    woke = []
+
+    def waiter(i):
+        yield from handle.wait()
+        woke.append(i)
+
+    def worker():
+        yield Compute(0.1)
+        yield from handle.complete(None)
+
+    for i in range(3):
+        eng.spawn(waiter(i), f"w{i}")
+    eng.spawn(worker(), "worker")
+    eng.run()
+    assert sorted(woke) == [0, 1, 2]

@@ -1,0 +1,74 @@
+"""Chrome-trace export tests."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.apps import PulseDoppler
+from repro.platforms import zcu102
+from repro.runtime import CedrRuntime, RuntimeConfig
+from repro.runtime.trace import APP_PID, to_chrome_trace, write_chrome_trace
+
+
+@pytest.fixture(scope="module")
+def finished_runtime():
+    platform = zcu102(n_cpu=3, n_fft=1).build(seed=7)
+    runtime = CedrRuntime(platform, RuntimeConfig(scheduler="eft"))
+    runtime.start()
+    rng = np.random.default_rng(7)
+    for i in range(2):
+        runtime.submit(PulseDoppler(batch=16).make_instance("api", rng), at=i * 1e-3)
+    runtime.seal()
+    runtime.run()
+    return runtime
+
+
+def test_trace_structure(finished_runtime):
+    trace = to_chrome_trace(finished_runtime)
+    assert "traceEvents" in trace
+    assert trace["otherData"]["apps"] == 2
+    assert trace["otherData"]["scheduler"] == "eft"
+    kinds = {e["ph"] for e in trace["traceEvents"]}
+    assert kinds == {"M", "X"}
+
+
+def test_trace_has_one_task_event_per_logbook_record(finished_runtime):
+    trace = to_chrome_trace(finished_runtime)
+    task_events = [e for e in trace["traceEvents"] if e.get("cat") == "task"]
+    assert len(task_events) == len(finished_runtime.logbook.tasks)
+    for e in task_events:
+        assert e["dur"] > 0
+        assert e["ts"] >= 0
+
+
+def test_trace_app_spans_match_execution_times(finished_runtime):
+    trace = to_chrome_trace(finished_runtime)
+    app_events = [e for e in trace["traceEvents"] if e.get("cat") == "app"]
+    assert len(app_events) == 2
+    for e in app_events:
+        assert e["pid"] == APP_PID
+        app = finished_runtime.apps[e["tid"]]
+        assert e["dur"] == pytest.approx(app.execution_time * 1e6)
+
+
+def test_trace_queue_wait_precedes_service(finished_runtime):
+    trace = to_chrome_trace(finished_runtime)
+    by_task = {}
+    for e in trace["traceEvents"]:
+        if e.get("cat") in ("task", "queue"):
+            by_task.setdefault(e["args"]["task"], {})[e["cat"]] = e
+    waited = [v for v in by_task.values() if "queue" in v]
+    assert waited, "some task should have waited in the queue"
+    for v in waited:
+        wait, task = v["queue"], v["task"]
+        assert wait["ts"] + wait["dur"] == pytest.approx(task["ts"], rel=1e-9)
+
+
+def test_write_chrome_trace_roundtrip(finished_runtime, tmp_path):
+    path = tmp_path / "run.trace.json"
+    out = write_chrome_trace(str(path), finished_runtime)
+    assert out == str(path)
+    loaded = json.loads(path.read_text())
+    assert loaded["displayTimeUnit"] == "ms"
+    assert len(loaded["traceEvents"]) > 10

@@ -1,0 +1,187 @@
+"""Unit tests for processor-sharing cores and accelerator devices."""
+
+import pytest
+
+from repro.simcore import AcquireDevice, Compute, Engine, SimStateError, UseDevice
+from repro.simcore.cores import Core
+
+
+def burn(amount):
+    yield Compute(amount)
+
+
+# --------------------------------------------------------------------- #
+# Core math
+# --------------------------------------------------------------------- #
+
+def test_core_speed_scales_rate():
+    eng = Engine(cores=[Core(name="fast", index=0, speed=2.0)])
+    t = eng.spawn(burn(1.0), "t")
+    eng.run()
+    assert t.finished_at == pytest.approx(0.5)
+
+
+def test_context_switch_penalty_slows_shared_core():
+    core = Core(name="c", index=0, cs_alpha=0.1)
+    eng = Engine(cores=[core])
+    eng.spawn(burn(1.0), "a")
+    eng.spawn(burn(1.0), "b")
+    # k=2 -> per-thread rate = 1/(2*(1+0.1)) -> both finish at 2.2
+    assert eng.run() == pytest.approx(2.2)
+
+
+def test_cs_penalty_absent_for_single_thread():
+    core = Core(name="c", index=0, cs_alpha=0.5)
+    eng = Engine(cores=[core])
+    eng.spawn(burn(1.0), "a")
+    assert eng.run() == pytest.approx(1.0)
+
+
+def test_spinner_consumes_a_share_slot():
+    core = Core(name="c", index=0)
+    eng = Engine(cores=[core])
+    core.spinners = 1
+    t = eng.spawn(burn(1.0), "t")
+    eng.run()
+    assert t.finished_at == pytest.approx(2.0)  # half rate next to a spinner
+
+
+def test_spinner_counts_toward_placement_load():
+    eng = Engine(cores=2)
+    eng.cores[0].spinners = 2
+    t = eng.spawn(burn(1.0), "float")
+    eng.run()
+    # the floating thread must avoid the spinner-crowded core0
+    assert eng.cores[1].delivered == pytest.approx(1.0)
+    assert t.finished_at == pytest.approx(1.0)
+
+
+def test_delivered_excludes_spinner_share():
+    core = Core(name="c", index=0)
+    eng = Engine(cores=[core])
+    core.spinners = 1
+    eng.spawn(burn(1.0), "t")
+    eng.run()
+    # only the real thread's 1.0 work units were delivered over 2.0 seconds
+    assert core.delivered == pytest.approx(1.0)
+    assert core.busy_time == pytest.approx(2.0)
+
+
+def test_core_advance_empty_returns_nothing():
+    core = Core(name="c", index=0)
+    assert core.advance(1.0) == []
+    assert core.next_completion_in() is None
+
+
+def test_double_add_same_thread_rejected():
+    eng = Engine(cores=1)
+
+    def t():
+        yield Compute(1.0)
+
+    thread = eng.spawn(t(), "t")
+    eng.run(until=0.1)
+    with pytest.raises(SimStateError):
+        eng.cores[0].add(thread, 1.0)
+
+
+# --------------------------------------------------------------------- #
+# Devices: timed (UseDevice) mode
+# --------------------------------------------------------------------- #
+
+def test_timed_device_serializes_fifo():
+    eng = Engine(cores=1)
+    dev = eng.add_device("fft0")
+    finishes = {}
+
+    def user(name):
+        yield UseDevice(dev, 0.3)
+        finishes[name] = eng.now
+
+    eng.spawn(user("a"), "a")
+    eng.spawn(user("b"), "b")
+    eng.run()
+    assert finishes["a"] == pytest.approx(0.3)
+    assert finishes["b"] == pytest.approx(0.6)
+    assert dev.served == 2
+    assert dev.busy_time == pytest.approx(0.6)
+
+
+def test_device_utilization():
+    eng = Engine(cores=1)
+    dev = eng.add_device("d")
+
+    def user():
+        yield Compute(0.5)
+        yield UseDevice(dev, 0.5)
+
+    eng.spawn(user(), "u")
+    eng.run()
+    assert dev.utilization(eng.now) == pytest.approx(0.5)
+
+
+# --------------------------------------------------------------------- #
+# Devices: held (AcquireDevice) mode - the polling-dispatch model
+# --------------------------------------------------------------------- #
+
+def test_held_device_spans_owner_compute():
+    eng = Engine(cores=2)
+    dev = eng.add_device("d")
+    grabbed = {}
+
+    def owner():
+        yield AcquireDevice(dev)
+        grabbed["at"] = eng.now
+        me = eng.current
+        yield Compute(0.4)
+        dev.release(me)
+
+    def waiter():
+        yield AcquireDevice(dev)
+        me = eng.current
+        grabbed["waiter_at"] = eng.now
+        dev.release(me)
+
+    eng.spawn(owner(), "owner", affinity=eng.cores[0])
+    eng.spawn(waiter(), "waiter", affinity=eng.cores[1])
+    eng.run()
+    assert grabbed["at"] == 0.0
+    assert grabbed["waiter_at"] == pytest.approx(0.4)
+
+
+def test_held_device_stretches_with_core_contention():
+    """Polling occupancy couples device time to host-core load."""
+    eng = Engine(cores=1)
+    dev = eng.add_device("d")
+
+    def mgmt():
+        yield AcquireDevice(dev)
+        me = eng.current
+        yield Compute(0.5)  # poll loop, shared with the rival below
+        dev.release(me)
+
+    eng.spawn(mgmt(), "mgmt")
+    eng.spawn(burn(0.5), "rival")
+    eng.run()
+    # both share the single core, so the device stays busy ~1.0s for 0.5s
+    # of poll work
+    assert dev.busy_time == pytest.approx(1.0)
+
+
+def test_release_by_non_owner_rejected():
+    eng = Engine(cores=1)
+    dev = eng.add_device("d")
+
+    def owner():
+        yield AcquireDevice(dev)
+        yield Compute(1.0)
+        dev.release(eng.current)
+
+    def rogue():
+        yield Compute(0.1)
+        dev.release(eng.current)
+
+    eng.spawn(owner(), "owner")
+    eng.spawn(rogue(), "rogue")
+    with pytest.raises(SimStateError):
+        eng.run()

@@ -1,0 +1,300 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.simcore import (
+    Block,
+    Compute,
+    Core,
+    Engine,
+    SimDeadlock,
+    SimStateError,
+    SimTimeError,
+    Sleep,
+    ThreadState,
+    Yield,
+)
+
+
+def burn(amount):
+    yield Compute(amount)
+
+
+def test_single_compute_takes_its_work_time():
+    eng = Engine(cores=1)
+    eng.spawn(burn(0.5), "t")
+    assert eng.run() == pytest.approx(0.5)
+
+
+def test_two_threads_share_one_core_equally():
+    eng = Engine(cores=1)
+    a = eng.spawn(burn(1.0), "a")
+    b = eng.spawn(burn(1.0), "b")
+    assert eng.run() == pytest.approx(2.0)
+    assert a.finished_at == pytest.approx(2.0)
+    assert b.finished_at == pytest.approx(2.0)
+    assert a.cpu_time == pytest.approx(1.0)
+
+
+def test_unequal_work_finishes_in_processor_sharing_order():
+    eng = Engine(cores=1)
+    short = eng.spawn(burn(0.1), "short")
+    long_ = eng.spawn(burn(1.0), "long")
+    eng.run()
+    # short finishes at 0.2 (half rate while sharing), long at 1.1
+    assert short.finished_at == pytest.approx(0.2)
+    assert long_.finished_at == pytest.approx(1.1)
+
+
+def test_two_cores_run_two_threads_in_parallel():
+    eng = Engine(cores=2)
+    eng.spawn(burn(1.0), "a")
+    eng.spawn(burn(1.0), "b")
+    assert eng.run() == pytest.approx(1.0)
+
+
+def test_affinity_pins_thread_to_core():
+    eng = Engine(cores=2)
+    core0 = eng.cores[0]
+    a = eng.spawn(burn(1.0), "a", affinity=core0)
+    b = eng.spawn(burn(1.0), "b", affinity=core0)
+    assert eng.run() == pytest.approx(2.0)  # forced sharing despite idle core1
+    assert eng.cores[1].delivered == 0.0
+
+
+def test_floating_threads_balance_over_pool():
+    eng = Engine(cores=2)
+    for i in range(4):
+        eng.spawn(burn(1.0), f"t{i}")
+    assert eng.run() == pytest.approx(2.0)
+    assert eng.cores[0].delivered == pytest.approx(2.0)
+    assert eng.cores[1].delivered == pytest.approx(2.0)
+
+
+def test_floating_pool_restriction_is_respected():
+    eng = Engine(cores=2)
+    eng.floating_pool = [eng.cores[0]]
+    eng.spawn(burn(1.0), "a")
+    eng.spawn(burn(1.0), "b")
+    eng.run()
+    assert eng.cores[1].delivered == 0.0
+
+
+def test_sleep_advances_wall_time_without_cpu():
+    eng = Engine(cores=1)
+
+    def sleeper():
+        yield Sleep(0.25)
+        yield Compute(0.25)
+
+    t = eng.spawn(sleeper(), "s")
+    assert eng.run() == pytest.approx(0.5)
+    assert t.cpu_time == pytest.approx(0.25)
+
+
+def test_zero_work_compute_is_instant():
+    eng = Engine(cores=1)
+
+    def zero():
+        yield Compute(0.0)
+        return "done"
+
+    t = eng.spawn(zero(), "z")
+    assert eng.run() == 0.0
+    assert t.result == "done"
+
+
+def test_yield_reschedules_without_time_passing():
+    order = []
+
+    def a():
+        order.append("a1")
+        yield Yield()
+        order.append("a2")
+
+    def b():
+        order.append("b1")
+        yield Yield()
+        order.append("b2")
+
+    eng = Engine(cores=1)
+    eng.spawn(a(), "a")
+    eng.spawn(b(), "b")
+    assert eng.run() == 0.0
+    assert order == ["a1", "b1", "a2", "b2"]
+
+
+def test_thread_result_captured_from_return():
+    eng = Engine(cores=1)
+
+    def worker():
+        yield Compute(0.1)
+        return 42
+
+    t = eng.spawn(worker(), "w")
+    eng.run()
+    assert t.result == 42
+    assert t.state is ThreadState.FINISHED
+    assert not t.alive
+
+
+def test_join_returns_result():
+    eng = Engine(cores=1)
+
+    def child():
+        yield Compute(0.2)
+        return "payload"
+
+    def parent():
+        c = eng.spawn(child(), "child")
+        value = yield from c.join()
+        return value
+
+    p = eng.spawn(parent(), "parent")
+    eng.run()
+    assert p.result == "payload"
+
+
+def test_join_finished_thread_returns_immediately():
+    eng = Engine(cores=1)
+    c = eng.spawn(burn(0.1), "child")
+    eng.run()
+
+    def parent():
+        value = yield from c.join()
+        return value
+
+    p = eng.spawn(parent(), "parent")
+    eng.run()
+    assert p.result is None  # burn returns None
+    assert p.finished_at == pytest.approx(0.1)
+
+
+def test_self_join_rejected():
+    eng = Engine(cores=1)
+    captured = {}
+
+    def selfish():
+        me = eng.current
+        try:
+            yield from me.join()
+        except SimStateError as exc:
+            captured["err"] = exc
+
+    eng.spawn(selfish(), "narcissus")
+    eng.run()
+    assert "err" in captured
+
+
+def test_run_until_pauses_and_resumes():
+    eng = Engine(cores=1)
+    t = eng.spawn(burn(1.0), "t")
+    eng.run(until=0.4)
+    assert eng.now == pytest.approx(0.4)
+    assert t.alive
+    eng.run()
+    assert t.finished_at == pytest.approx(1.0)
+
+
+def test_call_at_fires_in_order():
+    eng = Engine(cores=1)
+    hits = []
+    eng.call_at(0.2, lambda: hits.append(0.2))
+    eng.call_at(0.1, lambda: hits.append(0.1))
+    eng.run()
+    assert hits == [0.1, 0.2]
+
+
+def test_call_at_in_the_past_rejected():
+    eng = Engine(cores=1)
+    eng.call_at(0.5, lambda: None)
+    eng.run()
+    with pytest.raises(SimTimeError):
+        eng.call_at(0.1, lambda: None)
+
+
+def test_strict_run_raises_on_blocked_threads():
+    eng = Engine(cores=1)
+
+    def stuck():
+        yield Block()
+
+    eng.spawn(stuck(), "stuck")
+    with pytest.raises(SimDeadlock):
+        eng.run()
+
+
+def test_non_strict_run_returns_with_blocked_threads():
+    eng = Engine(cores=1)
+
+    def stuck():
+        yield Block()
+
+    t = eng.spawn(stuck(), "stuck")
+    eng.run(strict=False)
+    assert eng.blocked_threads() == [t]
+
+
+def test_wake_non_blocked_thread_rejected():
+    eng = Engine(cores=1)
+    t = eng.spawn(burn(0.1), "t")
+    with pytest.raises(SimStateError):
+        eng.wake(t)  # it is READY, not blocked
+
+
+def test_wake_finished_thread_rejected():
+    eng = Engine(cores=1)
+    t = eng.spawn(burn(0.1), "t")
+    eng.run()
+    with pytest.raises(SimStateError):
+        eng.wake(t)
+
+
+def test_negative_compute_rejected():
+    with pytest.raises(SimTimeError):
+        Compute(-1.0)
+
+
+def test_negative_sleep_rejected():
+    with pytest.raises(SimTimeError):
+        Sleep(-0.1)
+
+
+def test_unknown_request_rejected():
+    eng = Engine(cores=1)
+
+    def weird():
+        yield "not a request"
+
+    eng.spawn(weird(), "weird")
+    with pytest.raises(SimStateError):
+        eng.run()
+
+
+def test_spawn_with_foreign_core_rejected():
+    eng = Engine(cores=1)
+    foreign = Core(name="foreign", index=99)
+    with pytest.raises(SimStateError):
+        eng.spawn(burn(0.1), "t", affinity=foreign)
+
+
+def test_engine_requires_at_least_one_core():
+    with pytest.raises(SimStateError):
+        Engine(cores=0)
+
+
+def test_events_processed_counts_dispatches():
+    eng = Engine(cores=1)
+    eng.spawn(burn(0.1), "a")
+    eng.spawn(burn(0.1), "b")
+    eng.run()
+    assert eng.events_processed >= 2
+
+
+def test_core_utilization_reported():
+    eng = Engine(cores=2)
+    eng.spawn(burn(1.0), "a", affinity=eng.cores[0])
+    eng.run()
+    util = eng.core_utilization()
+    assert util["cpu0"] == pytest.approx(1.0)
+    assert util["cpu1"] == 0.0

@@ -1,0 +1,108 @@
+"""Property-based tests on the simulation engine's core invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simcore import Compute, Engine, Sleep
+
+work_lists = st.lists(
+    st.floats(min_value=1e-6, max_value=2.0, allow_nan=False), min_size=1, max_size=12
+)
+
+
+def burn(amount):
+    yield Compute(amount)
+
+
+@given(works=work_lists, n_cores=st.integers(min_value=1, max_value=4))
+@settings(max_examples=60, deadline=None)
+def test_work_conservation(works, n_cores):
+    """Delivered core-seconds equal requested work; none is lost or created,
+    and no core delivers more than elapsed x speed."""
+    eng = Engine(cores=n_cores)
+    threads = [eng.spawn(burn(w), f"t{i}") for i, w in enumerate(works)]
+    elapsed = eng.run()
+    total_delivered = sum(c.delivered for c in eng.cores)
+    assert np.isclose(total_delivered, sum(works), rtol=1e-9, atol=1e-9)
+    for core in eng.cores:
+        assert core.delivered <= elapsed * core.speed + 1e-9
+    for thread, w in zip(threads, works):
+        assert np.isclose(thread.cpu_time, w, rtol=1e-9, atol=1e-9)
+
+
+@given(works=work_lists)
+@settings(max_examples=40, deadline=None)
+def test_makespan_bounds(works):
+    """On one core, makespan equals total work (work conservation); on
+    infinite cores it would be max(work) - always within those bounds."""
+    eng = Engine(cores=1)
+    for i, w in enumerate(works):
+        eng.spawn(burn(w), f"t{i}")
+    elapsed = eng.run()
+    assert np.isclose(elapsed, sum(works), rtol=1e-9, atol=1e-9)
+
+
+@given(
+    segs=st.lists(
+        st.tuples(
+            st.sampled_from(["compute", "sleep"]),
+            st.floats(min_value=1e-6, max_value=0.5, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=8,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_clock_monotone_through_mixed_segments(segs):
+    """Simulated time never runs backwards across compute/sleep mixes."""
+    eng = Engine(cores=2)
+    stamps = []
+
+    def body():
+        for kind, amount in segs:
+            stamps.append(eng.now)
+            if kind == "compute":
+                yield Compute(amount)
+            else:
+                yield Sleep(amount)
+        stamps.append(eng.now)
+
+    eng.spawn(body(), "mixed")
+    eng.spawn(burn(0.3), "rival")
+    eng.run()
+    assert stamps == sorted(stamps)
+    # lower bound: dedicated execution of all segments
+    assert eng.now >= sum(a for _, a in segs) - 1e-9
+
+
+@given(works=work_lists, seed=st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=30, deadline=None)
+def test_determinism_same_seed_same_timeline(works, seed):
+    """Two engines fed identical programs produce identical finish times."""
+
+    def run():
+        eng = Engine(cores=2, seed=seed)
+        threads = [eng.spawn(burn(w), f"t{i}") for i, w in enumerate(works)]
+        eng.run()
+        return [t.finished_at for t in threads]
+
+    assert run() == run()
+
+
+@given(
+    works=work_lists,
+    alpha=st.floats(min_value=0.0, max_value=0.2, allow_nan=False),
+)
+@settings(max_examples=40, deadline=None)
+def test_context_switch_penalty_never_speeds_up(works, alpha):
+    """A positive cs_alpha can only increase (or keep) the makespan."""
+    from repro.simcore.cores import Core
+
+    def run(a):
+        eng = Engine(cores=[Core(name="c", index=0, cs_alpha=a)])
+        for i, w in enumerate(works):
+            eng.spawn(burn(w), f"t{i}")
+        return eng.run()
+
+    assert run(alpha) >= run(0.0) - 1e-12
