@@ -5,6 +5,12 @@ measure the *wall-clock* cost of simulating CEDR, which bounds how large a
 figure sweep is practical.  They also pin down that the engine scales
 linearly in event count - a regression here silently makes every figure
 bench slower.
+
+The engine-throughput test additionally asserts against the recorded
+performance trajectory in ``baseline.json`` (via the ``check_throughput``
+fixture): the virtual-time engine must stay at least 2x the recorded
+pre-optimization dispatch rate.  ``REPRO_PERF_CHECK=0`` skips the ratio
+check on hosts unlike the recording machine.
 """
 
 import numpy as np
@@ -15,7 +21,7 @@ from repro.runtime import CedrRuntime, RuntimeConfig
 from repro.simcore import Compute, Engine
 
 
-def test_engine_event_throughput(benchmark):
+def test_engine_event_throughput(benchmark, check_throughput):
     """Dispatch rate of the bare engine (ping-pong compute threads)."""
 
     def run():
@@ -32,6 +38,7 @@ def test_engine_event_throughput(benchmark):
 
     events = benchmark(run)
     assert events >= 4000
+    check_throughput("engine_event_throughput", benchmark, events)
 
 
 def test_pd_simulation_throughput(benchmark):

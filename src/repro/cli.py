@@ -82,12 +82,18 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write a Chrome trace (chrome://tracing) to PATH")
     run.add_argument("--gantt", action="store_true",
                      help="print an ASCII Gantt chart of the schedule")
+    run.add_argument("--verbose", action="store_true",
+                     help="also print simulator perf counters "
+                          "(events processed per wall second)")
 
     fig = sub.add_parser("figure", help="regenerate one evaluation figure")
     fig.add_argument("id", choices=FIGURE_IDS)
     fig.add_argument("--rates", type=int, default=6, help="injection-rate grid points")
     fig.add_argument("--trials", type=int, default=1)
     fig.add_argument("--seed", type=int, default=0)
+    fig.add_argument("--jobs", type=int, default=None,
+                     help="worker processes for the sweep (-1 = all cores; "
+                          "default: $REPRO_JOBS or serial)")
     return parser
 
 
@@ -163,6 +169,11 @@ def _cmd_run(args) -> int:
           f"({result.sched_rounds} rounds, ready depth mean "
           f"{result.ready_depth_mean:.1f} / max {result.ready_depth_max})")
     print(f"placement : {result.pe_task_histogram}")
+    if args.verbose:
+        counters = runtime.counters
+        print(f"perf      : {runtime.engine.events_processed} engine events in "
+              f"{counters.wall_seconds * 1e3:.1f} ms wall "
+              f"({counters.events_per_wall_sec:,.0f} events/s)")
     if args.energy:
         energy = estimate_energy(platform)
         print(f"energy    : {energy.total_j:.2f} J "
@@ -193,31 +204,32 @@ def _cmd_figure(args) -> int:
     from repro.workload import paper_injection_rates
 
     rates = list(paper_injection_rates(n=args.rates))
+    jobs = args.jobs
     if args.id == "fig5":
-        fig = run_fig5(rates=rates, trials=args.trials, seed=args.seed)
+        fig = run_fig5(rates=rates, trials=args.trials, seed=args.seed, n_jobs=jobs)
         print(format_series_table(fig, y_scale=1e3, y_fmt="{:10.4f}"))
         print(f"\nsaturated API-vs-DAG reduction: {saturated_reduction(fig):.1%} "
               "(paper: 19.52%)")
     elif args.id == "fig67":
-        panels = run_fig6_fig7(rates=rates, trials=args.trials, seed=args.seed)
+        panels = run_fig6_fig7(rates=rates, trials=args.trials, seed=args.seed, n_jobs=jobs)
         for pid in ("fig6a", "fig6b", "fig7a", "fig7b"):
             print(format_series_table(panels[pid], y_scale=1e3, y_fmt="{:10.3f}"))
             print()
     elif args.id == "fig8":
-        panels = run_fig8(rates=rates, trials=args.trials, seed=args.seed)
+        panels = run_fig8(rates=rates, trials=args.trials, seed=args.seed, n_jobs=jobs)
         for pid in ("fig8a", "fig8b"):
             print(format_series_table(panels[pid], y_scale=1e3, y_fmt="{:10.2f}"))
             print()
     elif args.id == "fig9":
-        panels = run_fig9(trials=args.trials, seed=args.seed)
+        panels = run_fig9(trials=args.trials, seed=args.seed, n_jobs=jobs)
         for pid in ("fig9a", "fig9b"):
             print(format_series_table(panels[pid], y_scale=1e3, y_fmt="{:10.1f}"))
             print()
     elif args.id == "fig10a":
-        fig = run_fig10a(trials=args.trials, seed=args.seed)
+        fig = run_fig10a(trials=args.trials, seed=args.seed, n_jobs=jobs)
         print(format_series_table(fig, y_scale=1e3, y_fmt="{:10.1f}"))
     elif args.id == "fig10b":
-        fig = run_fig10b(trials=args.trials, seed=args.seed)
+        fig = run_fig10b(trials=args.trials, seed=args.seed, n_jobs=jobs)
         print(format_series_table(fig, y_scale=1e3, y_fmt="{:10.1f}"))
     return 0
 

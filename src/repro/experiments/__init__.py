@@ -5,7 +5,7 @@ corresponding figure panel(s); the ``benchmarks/`` tree wraps them with
 pytest-benchmark and prints the series tables.
 """
 
-from .common import RateSweep, run_once, run_trials, sweep_rates
+from .common import RateSweep, resolve_jobs, run_once, run_trials, sweep_rates
 from .fig5_runtime_overhead import SATURATION_MBPS, run_fig5, saturated_reduction
 from .fig67_exec_sched import run_fig6_fig7
 from .fig8_jetson import run_fig8
@@ -16,6 +16,7 @@ __all__ = [
     "run_once",
     "run_trials",
     "sweep_rates",
+    "resolve_jobs",
     "RateSweep",
     "run_fig5",
     "saturated_reduction",

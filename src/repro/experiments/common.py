@@ -11,10 +11,26 @@ numerically evaluated, which changes nothing about queueing or contention
 (all costs come from the timing model) but keeps full sweeps fast.
 Integration tests run the same paths with ``execute=True`` to pin the
 functional behaviour.
+
+Parallel sweeps
+---------------
+
+A run is a pure function of ``(platform, workload, mode, rate, scheduler,
+seed, execute, config)``: the engine owns its RNG, seeded from ``seed``, and
+no state leaks between runs.  :func:`run_trials` and :func:`sweep_rates`
+therefore accept ``n_jobs`` and shard their (rate, trial-seed) cells across
+a :class:`~concurrent.futures.ProcessPoolExecutor` - results are collected
+in grid order, so the output is **bit-identical** to the serial path (a
+property the determinism tests pin).  ``n_jobs=None`` reads the
+``REPRO_JOBS`` environment variable (default 1, i.e. serial); ``n_jobs<=-1``
+means one worker per CPU.  This is what makes the paper's full 29-rate x
+25-trial grids tractable - see EXPERIMENTS.md.
 """
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -23,7 +39,29 @@ from repro.platforms import PlatformConfig
 from repro.runtime import CedrRuntime, RuntimeConfig
 from repro.workload import WorkloadSpec
 
-__all__ = ["run_once", "run_trials", "RateSweep", "sweep_rates"]
+__all__ = ["run_once", "run_trials", "RateSweep", "sweep_rates", "resolve_jobs"]
+
+#: environment variable holding the default worker-process count
+JOBS_ENV = "REPRO_JOBS"
+
+
+def resolve_jobs(n_jobs: Optional[int]) -> int:
+    """Resolve an ``n_jobs`` argument to a concrete worker count.
+
+    ``None`` defers to the ``REPRO_JOBS`` environment variable (absent or
+    empty means serial); any value <= -1 means one worker per CPU.
+    """
+    if n_jobs is None:
+        raw = os.environ.get(JOBS_ENV, "").strip()
+        try:
+            n_jobs = int(raw) if raw else 1
+        except ValueError:
+            raise ValueError(
+                f"{JOBS_ENV} must be an integer worker count, got {raw!r}"
+            ) from None
+    if n_jobs <= -1:
+        n_jobs = os.cpu_count() or 1
+    return max(1, n_jobs)
 
 
 def run_once(
@@ -51,6 +89,39 @@ def run_once(
     return RunResult.from_runtime(runtime)
 
 
+def _run_cell(cell: tuple) -> RunResult:
+    """Picklable worker entry: one (rate, seed) grid cell.
+
+    Module-level (not a closure) so :class:`ProcessPoolExecutor` can ship it
+    to worker processes under any start method.
+    """
+    platform, workload, mode, rate, scheduler, seed, execute, config = cell
+    return run_once(
+        platform, workload, mode, rate, scheduler,
+        seed=seed, execute=execute, config=config,
+    )
+
+
+def _run_cells(cells: list[tuple], n_jobs: int) -> list[RunResult]:
+    """Run grid cells, serially or across a process pool, in grid order.
+
+    The executor path uses ``map`` so results come back in submission order
+    regardless of completion order - determinism does not depend on worker
+    scheduling.
+    """
+    if n_jobs <= 1 or len(cells) <= 1:
+        return [_run_cell(c) for c in cells]
+    workers = min(n_jobs, len(cells))
+    chunksize = max(1, len(cells) // (workers * 4))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(_run_cell, cells, chunksize=chunksize))
+
+
+def trial_seeds(trials: int, base_seed: int = 0) -> list[int]:
+    """The seed grid shared by the serial and parallel paths."""
+    return [base_seed + 1000 * t for t in range(trials)]
+
+
 def run_trials(
     platform: PlatformConfig,
     workload: WorkloadSpec,
@@ -61,17 +132,20 @@ def run_trials(
     base_seed: int = 0,
     execute: bool = False,
     config: Optional[RuntimeConfig] = None,
+    n_jobs: Optional[int] = None,
 ) -> list[RunResult]:
-    """Repeat :func:`run_once` over ``trials`` seeds (paper: 25 trials)."""
+    """Repeat :func:`run_once` over ``trials`` seeds (paper: 25 trials).
+
+    ``n_jobs`` > 1 fans the trials out over worker processes; results are
+    returned in seed order either way.
+    """
     if trials < 1:
         raise ValueError(f"need at least one trial, got {trials}")
-    return [
-        run_once(
-            platform, workload, mode, rate_mbps, scheduler,
-            seed=base_seed + 1000 * t, execute=execute, config=config,
-        )
-        for t in range(trials)
+    cells = [
+        (platform, workload, mode, rate_mbps, scheduler, seed, execute, config)
+        for seed in trial_seeds(trials, base_seed)
     ]
+    return _run_cells(cells, resolve_jobs(n_jobs))
 
 
 @dataclass(frozen=True)
@@ -98,16 +172,26 @@ def sweep_rates(
     base_seed: int = 0,
     execute: bool = False,
     config: Optional[RuntimeConfig] = None,
+    n_jobs: Optional[int] = None,
 ) -> RateSweep:
-    """Run the workload across an injection-rate grid with trials."""
+    """Run the workload across an injection-rate grid with trials.
+
+    With ``n_jobs`` > 1 every (rate, trial) cell of the grid is an
+    independent unit of work sharded across one process pool, so the
+    speedup scales with ``rates x trials`` rather than ``trials`` alone.
+    """
     rates = tuple(float(r) for r in rates)
+    seeds = trial_seeds(trials, base_seed)
+    cells = [
+        (platform, workload, mode, rate, scheduler, seed, execute, config)
+        for rate in rates
+        for seed in seeds
+    ]
+    results = _run_cells(cells, resolve_jobs(n_jobs))
     per_metric: dict[str, list[TrialStats]] = {}
-    for rate in rates:
-        results = run_trials(
-            platform, workload, mode, rate, scheduler,
-            trials=trials, base_seed=base_seed, execute=execute, config=config,
-        )
-        for name, stat in aggregate_trials(results).items():
+    for i, rate in enumerate(rates):
+        rate_results = results[i * trials:(i + 1) * trials]
+        for name, stat in aggregate_trials(rate_results).items():
             per_metric.setdefault(name, []).append(stat)
     return RateSweep(
         rates=rates,

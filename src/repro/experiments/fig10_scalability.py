@@ -35,14 +35,14 @@ ZCU_RATE_MBPS = 300.0
 JETSON_RATE_MBPS = 500.0
 
 
-def _sweep_configs(platforms, workload, rate, schedulers, trials, seed):
+def _sweep_configs(platforms, workload, rate, schedulers, trials, seed, n_jobs=None):
     """{scheduler: [mean exec time per config]} over a platform list."""
     out: dict[str, list[float]] = {s: [] for s in schedulers}
     for platform in platforms:
         for scheduler in schedulers:
             results = run_trials(
                 platform, workload, "api", rate, scheduler,
-                trials=trials, base_seed=seed,
+                trials=trials, base_seed=seed, n_jobs=n_jobs,
             )
             stat = TrialStats.from_samples([r.mean_exec_time for r in results])
             out[scheduler].append(stat.mean)
@@ -55,12 +55,15 @@ def run_fig10a(
     seed: int = 0,
     schedulers: Sequence[str] = PAPER_SCHEDULERS,
     ld_batch: int = 64,
+    n_jobs: Optional[int] = None,
 ) -> FigureSeries:
     """Regenerate Fig. 10(a): ZCU102, 3 CPUs + varying FFT count."""
     fft_counts = list(fft_counts) if fft_counts is not None else [0, 1, 2, 4, 8]
     workload = av_workload_scaled(ld_batch=ld_batch)
     platforms = [zcu102(n_cpu=3, n_fft=n) for n in fft_counts]
-    series = _sweep_configs(platforms, workload, ZCU_RATE_MBPS, schedulers, trials, seed)
+    series = _sweep_configs(
+        platforms, workload, ZCU_RATE_MBPS, schedulers, trials, seed, n_jobs=n_jobs
+    )
     fig = FigureSeries(
         "fig10a",
         f"Execution time vs PE pool (ZCU102 3 CPU + N FFT, {ZCU_RATE_MBPS:.0f} Mbps)",
@@ -77,12 +80,15 @@ def run_fig10b(
     seed: int = 0,
     schedulers: Sequence[str] = PAPER_SCHEDULERS,
     ld_batch: int = 64,
+    n_jobs: Optional[int] = None,
 ) -> FigureSeries:
     """Regenerate Fig. 10(b): Jetson, 1-7 CPU workers + 1 GPU."""
     cpu_counts = list(cpu_counts) if cpu_counts is not None else [1, 2, 3, 4, 5, 6, 7]
     workload = av_workload_scaled(ld_batch=ld_batch)
     platforms = [jetson(n_cpu=n, n_gpu=1) for n in cpu_counts]
-    series = _sweep_configs(platforms, workload, JETSON_RATE_MBPS, schedulers, trials, seed)
+    series = _sweep_configs(
+        platforms, workload, JETSON_RATE_MBPS, schedulers, trials, seed, n_jobs=n_jobs
+    )
     fig = FigureSeries(
         "fig10b",
         f"Execution time vs PE pool (Jetson N CPU + 1 GPU, {JETSON_RATE_MBPS:.0f} Mbps)",

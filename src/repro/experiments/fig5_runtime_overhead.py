@@ -33,6 +33,7 @@ def run_fig5(
     trials: int = 2,
     seed: int = 0,
     scheduler: str = "rr",
+    n_jobs: Optional[int] = None,
 ) -> FigureSeries:
     """Regenerate Fig. 5; returns one panel with a DAG and an API series."""
     rates = list(rates) if rates is not None else list(reduced_injection_rates())
@@ -47,7 +48,8 @@ def run_fig5(
     )
     for mode, label in (("dag", "DAG-based"), ("api", "API-based")):
         sweep = sweep_rates(
-            platform, workload, mode, rates, scheduler, trials=trials, base_seed=seed
+            platform, workload, mode, rates, scheduler, trials=trials,
+            base_seed=seed, n_jobs=n_jobs,
         )
         xs, ys = sweep.series("runtime_overhead")
         fig.add(label, xs, ys)

@@ -40,6 +40,7 @@ def run_fig6_fig7(
     trials: int = 2,
     seed: int = 0,
     schedulers: Sequence[str] = PAPER_SCHEDULERS,
+    n_jobs: Optional[int] = None,
 ) -> dict[str, FigureSeries]:
     """Regenerate Figs 6(a,b) and 7(a,b); returns {panel id: FigureSeries}."""
     rates = list(rates) if rates is not None else list(reduced_injection_rates())
@@ -67,7 +68,8 @@ def run_fig6_fig7(
     for mode, exec_panel, sched_panel in (("dag", "fig6a", "fig7a"), ("api", "fig6b", "fig7b")):
         for scheduler in schedulers:
             sweep = sweep_rates(
-                platform, workload, mode, rates, scheduler, trials=trials, base_seed=seed
+                platform, workload, mode, rates, scheduler, trials=trials,
+                base_seed=seed, n_jobs=n_jobs,
             )
             xs, ys = sweep.series("exec_time")
             panels[exec_panel].add(scheduler.upper(), xs, ys)

@@ -28,6 +28,7 @@ def run_fig8(
     trials: int = 2,
     seed: int = 0,
     schedulers: Sequence[str] = PAPER_SCHEDULERS,
+    n_jobs: Optional[int] = None,
 ) -> dict[str, FigureSeries]:
     """Regenerate Fig. 8(a,b); returns {panel id: FigureSeries}."""
     rates = list(rates) if rates is not None else list(reduced_injection_rates())
@@ -46,7 +47,8 @@ def run_fig8(
     for mode, panel in (("dag", "fig8a"), ("api", "fig8b")):
         for scheduler in schedulers:
             sweep = sweep_rates(
-                platform, workload, mode, rates, scheduler, trials=trials, base_seed=seed
+                platform, workload, mode, rates, scheduler, trials=trials,
+                base_seed=seed, n_jobs=n_jobs,
             )
             xs, ys = sweep.series("exec_time")
             panels[panel].add(scheduler.upper(), xs, ys)

@@ -51,6 +51,7 @@ def run_fig9(
     seed: int = 0,
     schedulers: Sequence[str] = PAPER_SCHEDULERS,
     ld_batch: int = 64,
+    n_jobs: Optional[int] = None,
 ) -> dict[str, FigureSeries]:
     """Regenerate Fig. 9(a,b); returns {panel id: FigureSeries}."""
     rates = list(rates) if rates is not None else list(paper_injection_rates(n=6))
@@ -68,7 +69,8 @@ def run_fig9(
     for platform, panel in ((zcu102(n_cpu=3, n_fft=8), "fig9a"), (jetson(n_cpu=7), "fig9b")):
         for scheduler in schedulers:
             sweep = sweep_rates(
-                platform, workload, "api", rates, scheduler, trials=trials, base_seed=seed
+                platform, workload, "api", rates, scheduler, trials=trials,
+                base_seed=seed, n_jobs=n_jobs,
             )
             xs, ys = sweep.series("exec_time")
             panels[panel].add(scheduler.upper(), xs, ys)

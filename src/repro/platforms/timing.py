@@ -106,10 +106,26 @@ class TimingModel:
     #: multiplicative log-normal jitter for *sampled* costs; 0 disables.
     noise_sigma: float = 0.0
 
+    #: memoized (api, params, kind) -> cost lookups.  Workloads repeat a
+    #: handful of kernel shapes across thousands of tasks, and the worker
+    #: threads re-derive the analytic cost for every single dispatch; the
+    #: cache turns that into one dict probe (the profiling-table analogue of
+    #: :meth:`CedrRuntime._estimate`, but shared by *all* consumers of the
+    #: model).  Excluded from eq/hash/repr: it is pure memoization state.
+    _cost_cache: dict = field(default_factory=dict, compare=False, repr=False)
+
     # ------------------------------------------------------------------ #
 
     def cpu_seconds(self, api: str, params: Mapping[str, float]) -> float:
-        """Dedicated-core seconds for *api* on this platform's CPU."""
+        """Dedicated-core seconds for *api* on this platform's CPU (memoized)."""
+        key = (api, tuple(sorted(params.items())), PEKind.CPU)
+        cached = self._cost_cache.get(key)
+        if cached is None:
+            cached = self._cpu_seconds(api, params)
+            self._cost_cache[key] = cached
+        return cached
+
+    def _cpu_seconds(self, api: str, params: Mapping[str, float]) -> float:
         ghz = self.cpu_clock_ghz
         if api in ("fft", "ifft"):
             n = float(params["n"])
@@ -130,7 +146,16 @@ class TimingModel:
         raise KeyError(f"no CPU cost model for API {api!r}")
 
     def accel_parts(self, api: str, params: Mapping[str, float], kind: PEKind) -> AccelCost:
-        """Management-thread dispatch cost of *api* on accelerator *kind*."""
+        """Management-thread dispatch cost of *api* on accelerator *kind*
+        (memoized per (api, params, kind))."""
+        key = (api, tuple(sorted(params.items())), kind)
+        cached = self._cost_cache.get(key)
+        if cached is None:
+            cached = self._accel_parts(api, params, kind)
+            self._cost_cache[key] = cached
+        return cached
+
+    def _accel_parts(self, api: str, params: Mapping[str, float], kind: PEKind) -> AccelCost:
         if kind is PEKind.FFT and api in ("fft", "ifft"):
             n = float(params["n"])
             if n > self.fft_accel_max_points:

@@ -23,6 +23,7 @@ followed by log serialization.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
@@ -192,8 +193,18 @@ class CedrRuntime:
         self.engine.call_at(at, lambda: self.events.post(("cancel", app)))
 
     def run(self, until: Optional[float] = None) -> float:
-        """Convenience: run the engine to completion; returns final time."""
-        return self.engine.run(until=until)
+        """Convenience: run the engine to completion; returns final time.
+
+        Also accounts host wall-clock time against the perf counters so
+        ``counters.events_per_wall_sec`` reports simulator throughput.
+        """
+        t0 = time.perf_counter()
+        try:
+            return self.engine.run(until=until)
+        finally:
+            self.counters.record_run(
+                time.perf_counter() - t0, self.engine.events_processed
+            )
 
     # ------------------------------------------------------------------ #
     # surfaces used by workers / application threads

@@ -39,6 +39,13 @@ class PerfCounters:
     sched_rounds: int = 0
     tasks_completed: int = 0
     apps_completed: int = 0
+    #: host-side simulator throughput: dispatch events handled by the engine
+    #: and the wall-clock seconds spent inside :meth:`CedrRuntime.run`.
+    #: ``events_per_wall_sec`` is the perf-regression metric the CLI's
+    #: ``--verbose`` path prints, so throughput drops are visible outside
+    #: pytest-benchmark (see benchmarks/baseline.json).
+    engine_events: int = 0
+    wall_seconds: float = 0.0
 
     def record_task(self, pe_name: str, api: str, service_time: float) -> None:
         if not self.enabled:
@@ -53,10 +60,22 @@ class PerfCounters:
         self.ready_depth_max = max(self.ready_depth_max, ready_depth)
         self.ready_depth_sum += ready_depth
 
+    def record_run(self, wall_seconds: float, engine_events: int) -> None:
+        """Account one ``CedrRuntime.run`` call's host wall time + events."""
+        if not self.enabled:
+            return
+        self.wall_seconds += wall_seconds
+        self.engine_events = engine_events
+
     @property
     def ready_depth_mean(self) -> float:
         """Average ready-queue depth seen at scheduling rounds."""
         return self.ready_depth_sum / self.sched_rounds if self.sched_rounds else 0.0
+
+    @property
+    def events_per_wall_sec(self) -> float:
+        """Engine dispatch events per host wall-clock second (throughput)."""
+        return self.engine_events / self.wall_seconds if self.wall_seconds > 0 else 0.0
 
     def snapshot(self) -> dict:
         """JSON-compatible dump for the shutdown log."""
@@ -70,4 +89,7 @@ class PerfCounters:
             "sched_rounds": self.sched_rounds,
             "tasks_completed": self.tasks_completed,
             "apps_completed": self.apps_completed,
+            "engine_events": self.engine_events,
+            "wall_seconds": self.wall_seconds,
+            "events_per_wall_sec": self.events_per_wall_sec,
         }

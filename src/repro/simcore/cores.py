@@ -9,6 +9,27 @@ rate ``s / k``.  This is the fluid limit of the Linux CFS round-robin that
 the real CEDR threads experience, and it makes completion times exactly
 computable in an event-driven loop (no quantum discretization noise).
 
+Performance: virtual-time accounting
+------------------------------------
+
+A naive processor-sharing core decrements every runnable thread's remaining
+work on every clock advance - O(runnable) per event, and the dominant cost
+of the whole simulator.  Instead each core keeps a *virtual clock* ``V``:
+the dedicated-work seconds delivered to each occupant since the core was
+created.  A segment of ``w`` work admitted at virtual time ``V0`` finishes
+when ``V`` reaches ``V0 + w``; advancing the wall clock by ``dt`` moves
+``V`` by ``dt * rate`` once, regardless of how many threads share the core.
+Finish instants live in a per-core min-heap, so an advance costs
+O(1 + completions log n) instead of O(runnable).
+
+Because the per-thread rate is constant while the core's composition
+(runnable set + spinner count) is unchanged, the *absolute* wall-clock
+instant of the earliest completion is also constant.  Each core caches it
+(:meth:`Core.completion_at`) and invalidates only when a segment is added,
+a segment finishes, or the spinner count changes - the invalidation
+protocol the engine's advance loop relies on (see docs/INTERNALS.md,
+"Performance").
+
 Devices (FFT/MMULT accelerators, the GPU) are exclusive FIFO servers: one
 occupant at a time, queued requests served in arrival order.  The CPU-side
 cost of talking to a device (DMA setup, ``cudaMemcpy``) is *not* modelled
@@ -19,7 +40,8 @@ scalability results.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import heapq
+from collections import deque
 from typing import TYPE_CHECKING, Optional
 
 from .errors import SimStateError
@@ -35,7 +57,6 @@ __all__ = ["Core", "Device"]
 WORK_EPSILON = 1e-12
 
 
-@dataclass
 class Core:
     """One processor-sharing CPU core.
 
@@ -50,33 +71,77 @@ class Core:
     work-conserving, which would hide the oversubscription cost the paper's
     scalability analysis (Fig. 10) attributes to "each thread waiting for
     longer periods to get access to the CPU core"; the penalty restores it.
+
+    ``spinners`` is the number of busy-polling threads currently parked on
+    this core.  CEDR's worker and accelerator-management threads spin on
+    their queues, so an *idle* worker still consumes a full processor-sharing
+    slot - the mechanism behind the paper's thread-contention findings (API
+    threads squeezed by spinning workers in Fig. 6/8, monotone degradation
+    with FFT count in Fig. 10a, the 5-CPU minimum in Fig. 10b).  Spinners
+    take a share slot but have no work to finish; they vanish from the core
+    the instant their queue delivers a task.
     """
 
-    name: str
-    index: int
-    speed: float = 1.0
-    cs_alpha: float = 0.0
-    #: number of busy-polling threads currently parked on this core.  CEDR's
-    #: worker and accelerator-management threads spin on their queues, so an
-    #: *idle* worker still consumes a full processor-sharing slot - the
-    #: mechanism behind the paper's thread-contention findings (API threads
-    #: squeezed by spinning workers in Fig. 6/8, monotone degradation with
-    #: FFT count in Fig. 10a, the 5-CPU minimum in Fig. 10b).  Spinners take
-    #: a share slot but have no work to finish; they vanish from the core
-    #: the instant their queue delivers a task.
-    spinners: int = 0
-    #: runnable thread -> remaining dedicated-core-seconds of its segment
-    running: dict["SimThread", float] = field(default_factory=dict)
-    #: total dedicated-core-seconds delivered (for utilization accounting)
-    delivered: float = 0.0
-    #: wall-seconds during which at least one thread was runnable here
-    busy_time: float = 0.0
+    __slots__ = (
+        "name",
+        "index",
+        "speed",
+        "cs_alpha",
+        "_spinners",
+        "running",
+        "delivered",
+        "busy_time",
+        "_virtual",
+        "_finish_heap",
+        "_seq",
+        "_completion_at",
+        "_completion_dirty",
+    )
 
-    def __hash__(self) -> int:
-        return id(self)
+    def __init__(
+        self,
+        name: str,
+        index: int,
+        speed: float = 1.0,
+        cs_alpha: float = 0.0,
+        spinners: int = 0,
+    ) -> None:
+        self.name = name
+        self.index = index
+        self.speed = speed
+        self.cs_alpha = cs_alpha
+        self._spinners = spinners
+        #: runnable thread -> virtual-clock instant its segment finishes
+        self.running: dict["SimThread", float] = {}
+        #: total dedicated-core-seconds delivered (for utilization accounting)
+        self.delivered: float = 0.0
+        #: wall-seconds during which at least one thread was runnable here
+        self.busy_time: float = 0.0
+        #: dedicated-work seconds delivered per occupant since creation
+        self._virtual: float = 0.0
+        #: (finish_virtual, seq, thread, work) min-heap of pending segments
+        self._finish_heap: list[tuple[float, int, "SimThread", float]] = []
+        self._seq = 0
+        #: cached absolute wall-clock instant of the earliest completion
+        #: (None = idle); valid while the runnable set and spinner count are
+        #: unchanged, recomputed lazily otherwise.
+        self._completion_at: Optional[float] = None
+        self._completion_dirty = True
 
-    def __eq__(self, other: object) -> bool:
-        return self is other
+    # identity semantics: cores are placed in dicts/sets by the engine
+    # (plain object hash/eq - no overrides needed on a non-dataclass)
+
+    @property
+    def spinners(self) -> int:
+        return self._spinners
+
+    @spinners.setter
+    def spinners(self, value: int) -> None:
+        # A spinner arriving/leaving changes the share count, hence the
+        # per-thread rate, hence every pending completion instant.
+        if value != self._spinners:
+            self._spinners = value
+            self._completion_dirty = True
 
     @property
     def load(self) -> int:
@@ -86,25 +151,52 @@ class Core:
         really does land in a contended slot, which is why the 3-core
         ZCU102 squeezes application threads while the Jetson's spare cores
         do not (paper Figs 6 vs 8)."""
-        return len(self.running) + self.spinners
+        return len(self.running) + self._spinners
 
     def add(self, thread: "SimThread", work: float) -> None:
         if thread in self.running:
             raise SimStateError(f"{thread.name!r} already running on core {self.name!r}")
-        self.running[thread] = work
+        finish = self._virtual + work
+        self.running[thread] = finish
+        self._seq += 1
+        heapq.heappush(self._finish_heap, (finish, self._seq, thread, work))
+        self._completion_dirty = True
+
+    def remaining_work(self, thread: "SimThread") -> float:
+        """Dedicated-core seconds left in *thread*'s current segment."""
+        return self.running[thread] - self._virtual
 
     def _per_thread_rate(self) -> float:
         """Dedicated-work seconds delivered per wall second to each of the
         ``k`` runnable threads, including busy-polling spinners in the share
         count and the context-switch penalty."""
-        k = len(self.running) + self.spinners
+        k = len(self.running) + self._spinners
         return self.speed / (k * (1.0 + self.cs_alpha * (k - 1)))
 
     def next_completion_in(self) -> Optional[float]:
         """Wall-seconds until the earliest segment here finishes, or None."""
         if not self.running:
             return None
-        return min(self.running.values()) / self._per_thread_rate()
+        remaining = self._finish_heap[0][0] - self._virtual
+        return remaining / self._per_thread_rate()
+
+    def completion_at(self, now: float) -> Optional[float]:
+        """Cached absolute instant of the earliest completion (None = idle).
+
+        While the core's composition is unchanged the per-thread rate is
+        constant, so the earliest finish is a fixed wall-clock instant no
+        matter when it is queried; the cache is invalidated by :meth:`add`,
+        by completions inside :meth:`advance`, and by the ``spinners``
+        setter.
+        """
+        if self._completion_dirty:
+            if self.running:
+                remaining = self._finish_heap[0][0] - self._virtual
+                self._completion_at = now + remaining / self._per_thread_rate()
+            else:
+                self._completion_at = None
+            self._completion_dirty = False
+        return self._completion_at
 
     def advance(self, dt: float) -> list["SimThread"]:
         """Progress all runnable threads by ``dt`` wall-seconds.
@@ -115,24 +207,34 @@ class Core:
         """
         if dt == 0.0:
             return []
-        if not self.running:
-            if self.spinners:
+        running = self.running
+        if not running:
+            if self._spinners:
                 # a busy-polling thread keeps the core active (and drawing
                 # power) even with no work item in flight
                 self.busy_time += dt
             return []
-        rate = self._per_thread_rate()
-        k = len(self.running)
-        done: list[SimThread] = []
-        for thread in list(self.running):
-            granted = dt * rate
-            self.running[thread] -= granted
-            thread.cpu_time += granted
-            if self.running[thread] <= WORK_EPSILON:
-                del self.running[thread]
-                done.append(thread)
-        self.delivered += dt * rate * k
+        n = len(running)
+        k = n + self._spinners
+        rate = self.speed / (k * (1.0 + self.cs_alpha * (k - 1)))
+        virtual = self._virtual + dt * rate
+        self._virtual = virtual
+        self.delivered += dt * rate * n
         self.busy_time += dt
+        heap = self._finish_heap
+        if not heap or heap[0][0] > virtual + WORK_EPSILON:
+            return []
+        done: list["SimThread"] = []
+        limit = virtual + WORK_EPSILON
+        while heap and heap[0][0] <= limit:
+            _, _, thread, work = heapq.heappop(heap)
+            del running[thread]
+            # Credit the segment's exact work on completion (rather than
+            # drip-feeding partial grants every advance): cheaper and free
+            # of per-advance rounding drift.
+            thread.cpu_time += work
+            done.append(thread)
+        self._completion_dirty = True
         return done
 
     def utilization(self, elapsed: float) -> float:
@@ -143,7 +245,6 @@ class Core:
         return f"<Core {self.name} load={self.load}>"
 
 
-@dataclass
 class Device:
     """An exclusive, FIFO-queued accelerator device.
 
@@ -158,22 +259,24 @@ class Device:
       the mgmt thread *polls* the accelerator, so the device stays occupied
       for as long as the (processor-shared, possibly slowed-down) polling
       loop takes - the contention coupling the paper's Fig. 10 exposes.
+
+    The wait queue is a :class:`~collections.deque`: accelerator queues grow
+    deep at high injection rates (every frame of every app funnels through
+    one FFT IP in the Fig. 5 configuration), and a list's ``pop(0)`` would
+    make draining an n-deep queue quadratic.
     """
 
-    name: str
-    engine: "Engine"
-    occupant: Optional["SimThread"] = None
-    #: waiting (thread, duration-or-None) pairs; None = held-style acquire
-    queue: list[tuple["SimThread", Optional[float]]] = field(default_factory=list)
-    busy_time: float = 0.0
-    served: int = 0
-    _busy_since: float = 0.0
+    __slots__ = ("name", "engine", "occupant", "queue", "busy_time", "served", "_busy_since")
 
-    def __hash__(self) -> int:
-        return id(self)
-
-    def __eq__(self, other: object) -> bool:
-        return self is other
+    def __init__(self, name: str, engine: "Engine") -> None:
+        self.name = name
+        self.engine = engine
+        self.occupant: Optional["SimThread"] = None
+        #: waiting (thread, duration-or-None) pairs; None = held-style acquire
+        self.queue: deque[tuple["SimThread", Optional[float]]] = deque()
+        self.busy_time: float = 0.0
+        self.served: int = 0
+        self._busy_since: float = 0.0
 
     @property
     def busy(self) -> bool:
@@ -216,7 +319,7 @@ class Device:
         self.busy_time += self.engine.now - self._busy_since
         self.served += 1
         if self.queue:
-            nxt, dur = self.queue.pop(0)
+            nxt, dur = self.queue.popleft()
             self._start(nxt, dur)
 
     def utilization(self, elapsed: float) -> float:

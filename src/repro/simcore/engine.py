@@ -13,10 +13,11 @@ phases:
    credit the elapsed interval to every runnable thread.
 
 Because processor-sharing completion times change whenever the runnable set
-changes, completion instants are recomputed from per-core remaining-work
-tables at every advance instead of being cached in the heap; with the small
-core counts of the emulated SoCs (<= 8) this costs O(threads) per event and
-is exact.
+changes, each core caches the *absolute instant* of its earliest completion
+and invalidates it only when its composition (runnable set or spinner
+count) changes - see :meth:`repro.simcore.cores.Core.completion_at`.  An
+advance therefore costs O(cores) cached reads instead of O(threads)
+remaining-work scans, and stays exact.
 """
 
 from __future__ import annotations
@@ -144,7 +145,19 @@ class Engine:
             return override
         if thread.affinity is not None:
             return thread.affinity
-        return min(self.floating_pool, key=lambda c: (c.load, c.index))
+        # min(pool, key=lambda c: (c.load, c.index)) without the per-call
+        # lambda, tuple allocations, or property descriptor overhead - this
+        # runs once per floating compute segment.
+        best: Optional[Core] = None
+        best_load = 0
+        for core in self.floating_pool:
+            load = len(core.running) + core._spinners
+            if best is None or load < best_load or (load == best_load and core.index < best.index):
+                best = core
+                best_load = load
+        if best is None:
+            raise SimStateError("engine has an empty floating pool")
+        return best
 
     def _dispatch(self, thread: SimThread, value: Any) -> None:
         """Resume one thread and act on the request it yields."""
@@ -157,7 +170,11 @@ class Engine:
         finally:
             self.current = None
 
-        if isinstance(request, Compute):
+        # Exact-type tests first: requests are (in practice) final classes
+        # and this is the hottest branch in the simulator; isinstance keeps
+        # working for subclasses via the fallback chain below.
+        cls = request.__class__
+        if cls is Compute or isinstance(request, Compute):
             core = self._pick_core(thread, request.core)
             if request.work <= 0.0:
                 # Zero-cost segment: skip the core entirely so it neither
@@ -168,14 +185,14 @@ class Engine:
                 thread.state = ThreadState.RUNNING
                 thread._current_core = core
                 core.add(thread, request.work)
-        elif isinstance(request, Sleep):
-            thread.state = ThreadState.SLEEPING
-            self._schedule_timer(request.duration, lambda t=thread: self.wake(t))
-        elif isinstance(request, Block):
+        elif cls is Block or isinstance(request, Block):
             thread.state = ThreadState.BLOCKED
-        elif isinstance(request, Yield):
+        elif cls is Yield or isinstance(request, Yield):
             thread.state = ThreadState.READY
             self._ready.append((thread, None))
+        elif cls is Sleep or isinstance(request, Sleep):
+            thread.state = ThreadState.SLEEPING
+            self._schedule_timer(request.duration, lambda t=thread: self.wake(t))
         elif isinstance(request, UseDevice):
             thread.state = ThreadState.BLOCKED
             request.device.request(thread, request.duration)
@@ -202,22 +219,34 @@ class Engine:
     # ------------------------------------------------------------------ #
 
     def _next_compute_completion(self) -> Optional[float]:
+        """Wall-seconds until the earliest compute completion on any core.
+
+        Reads each core's cached completion instant (O(cores), no
+        remaining-work scans); kept for introspection and tests - the main
+        loop inlines the same cached scan in absolute time.
+        """
+        at = self._next_completion_at()
+        return None if at is None else at - self.now
+
+    def _next_completion_at(self) -> Optional[float]:
+        now = self.now
         best: Optional[float] = None
         for core in self.cores:
-            dt = core.next_completion_in()
-            if dt is not None and (best is None or dt < best):
-                best = dt
+            at = core.completion_at(now)
+            if at is not None and (best is None or at < best):
+                best = at
         return best
 
     def _advance(self, dt: float) -> None:
         if dt < 0:
             raise SimTimeError(f"attempted to advance time by {dt}")
         self.now += dt
+        ready = self._ready
         for core in self.cores:
             for thread in core.advance(dt):
                 thread.state = ThreadState.READY
                 thread._current_core = None
-                self._ready.append((thread, None))
+                ready.append((thread, None))
 
     def run(self, until: Optional[float] = None, strict: bool = True) -> float:
         """Run the simulation; return the final simulated time.
@@ -227,33 +256,52 @@ class Engine:
         are still blocked raises :class:`SimDeadlock` - a clean experiment
         must shut its runtime down so every thread finishes.
         """
+        ready = self._ready
+        timers = self._timers
+        dispatch = self._dispatch
         while True:
-            while self._ready:
-                thread, value = self._ready.popleft()
-                self._events_processed += 1
-                self._dispatch(thread, value)
+            # Drain every thread runnable at the current instant (dispatch
+            # may append more same-instant work; the deque drains to a fixed
+            # point before time moves).
+            events = 0
+            while ready:
+                thread, value = ready.popleft()
+                events += 1
+                dispatch(thread, value)
+            self._events_processed += events
 
-            timer_at = self._timers[0][0] if self._timers else None
-            compute_in = self._next_compute_completion()
-            compute_at = None if compute_in is None else self.now + compute_in
+            timer_at = timers[0][0] if timers else None
+            compute_at = self._next_completion_at()
 
             if timer_at is None and compute_at is None:
-                blocked = self.blocked_threads()
-                if strict and blocked:
+                # Only materialize the blocked-thread list when actually
+                # raising: this idle check runs on every engine return and
+                # a full thread scan here is pure overhead on the happy path.
+                if strict and any(
+                    t.state is ThreadState.BLOCKED for t in self.threads
+                ):
+                    blocked = self.blocked_threads()
                     names = ", ".join(t.name for t in blocked[:12])
                     raise SimDeadlock(
                         f"no events remain but {len(blocked)} thread(s) are blocked: {names}"
                     )
                 return self.now
 
-            next_at = min(t for t in (timer_at, compute_at) if t is not None)
+            if timer_at is None:
+                next_at = compute_at
+            elif compute_at is None:
+                next_at = timer_at
+            else:
+                next_at = timer_at if timer_at <= compute_at else compute_at
             if until is not None and next_at > until:
                 self._advance(until - self.now)
                 return self.now
 
             self._advance(next_at - self.now)
-            while self._timers and self._timers[0][0] <= self.now + 1e-15:
-                _, _, callback = heapq.heappop(self._timers)
+            # Batch every timer that fires at this instant in one pop loop.
+            deadline = self.now + 1e-15
+            while timers and timers[0][0] <= deadline:
+                _, _, callback = heapq.heappop(timers)
                 callback()
 
     # ------------------------------------------------------------------ #

@@ -23,7 +23,6 @@ synchronization primitives in :mod:`repro.simcore.sync`.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
 from .errors import SimStateError, SimTimeError
@@ -51,7 +50,6 @@ class Request:
     __slots__ = ()
 
 
-@dataclass(frozen=True)
 class Compute(Request):
     """Consume ``work`` seconds of *dedicated-core* time.
 
@@ -60,25 +58,38 @@ class Compute(Request):
     sharing).  ``core`` overrides the thread's affinity for this one segment,
     which the runtime uses to charge accelerator-management work to the
     management thread's host core.
+
+    Requests are plain slotted classes rather than frozen dataclasses: one
+    is allocated per simulated event, and a frozen dataclass ``__init__``
+    (one ``object.__setattr__`` per field) is several times the cost of
+    ordinary attribute assignment on this path.  Treat instances as
+    immutable value objects all the same.
     """
 
-    work: float
-    core: "Optional[Core]" = None
+    __slots__ = ("work", "core")
 
-    def __post_init__(self) -> None:
-        if self.work < 0:
-            raise SimTimeError(f"negative compute work: {self.work}")
+    def __init__(self, work: float, core: "Optional[Core]" = None) -> None:
+        if work < 0:
+            raise SimTimeError(f"negative compute work: {work}")
+        self.work = work
+        self.core = core
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Compute(work={self.work!r}, core={self.core!r})"
 
 
-@dataclass(frozen=True)
 class Sleep(Request):
     """Suspend for ``duration`` seconds of wall time without using any core."""
 
-    duration: float
+    __slots__ = ("duration",)
 
-    def __post_init__(self) -> None:
-        if self.duration < 0:
-            raise SimTimeError(f"negative sleep duration: {self.duration}")
+    def __init__(self, duration: float) -> None:
+        if duration < 0:
+            raise SimTimeError(f"negative sleep duration: {duration}")
+        self.duration = duration
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Sleep(duration={self.duration!r})"
 
 
 class Block(Request):
@@ -97,7 +108,6 @@ class Yield(Request):
     __slots__ = ()
 
 
-@dataclass(frozen=True)
 class UseDevice(Request):
     """Occupy an exclusive device (accelerator) for ``duration`` seconds.
 
@@ -106,15 +116,18 @@ class UseDevice(Request):
     the management thread truly sleeps while the FPGA/GPU runs.
     """
 
-    device: "Device"
-    duration: float
+    __slots__ = ("device", "duration")
 
-    def __post_init__(self) -> None:
-        if self.duration < 0:
-            raise SimTimeError(f"negative device duration: {self.duration}")
+    def __init__(self, device: "Device", duration: float) -> None:
+        if duration < 0:
+            raise SimTimeError(f"negative device duration: {duration}")
+        self.device = device
+        self.duration = duration
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"UseDevice(device={self.device!r}, duration={self.duration!r})"
 
 
-@dataclass(frozen=True)
 class AcquireDevice(Request):
     """Block until exclusive ownership of *device* is granted.
 
@@ -124,7 +137,13 @@ class AcquireDevice(Request):
     management threads (see :class:`~repro.simcore.cores.Device`).
     """
 
-    device: "Device"
+    __slots__ = ("device",)
+
+    def __init__(self, device: "Device") -> None:
+        self.device = device
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"AcquireDevice(device={self.device!r})"
 
 
 class ThreadState(enum.Enum):
@@ -137,7 +156,6 @@ class ThreadState(enum.Enum):
     FINISHED = "finished"  # generator exhausted
 
 
-@dataclass
 class SimThread:
     """Bookkeeping for one simulated thread.
 
@@ -145,25 +163,46 @@ class SimThread:
     means floating - the engine places each compute segment on the
     least-loaded core, approximating the Linux load balancer that spreads
     CEDR-API application threads across the CPU pool.
+
+    Slotted (not a dataclass): threads are the hottest objects in the
+    simulator - they live as dict keys on every core and are touched on
+    every dispatch - so attribute storage and the default identity
+    ``__hash__``/``__eq__`` (C-level, unlike a dataclass's generated ones)
+    measurably matter.
     """
 
-    name: str
-    gen: Generator[Request, Any, Any]
-    engine: "Engine"
-    affinity: "Optional[Core]" = None
-    state: ThreadState = ThreadState.READY
-    result: Any = None
-    cpu_time: float = 0.0          # dedicated-core seconds actually delivered
-    started_at: float = 0.0
-    finished_at: Optional[float] = None
-    _joiners: list["SimThread"] = field(default_factory=list)
-    _current_core: "Optional[Core]" = None
+    __slots__ = (
+        "name",
+        "gen",
+        "engine",
+        "affinity",
+        "state",
+        "result",
+        "cpu_time",
+        "started_at",
+        "finished_at",
+        "_joiners",
+        "_current_core",
+    )
 
-    def __hash__(self) -> int:  # identity hashing: threads live in dict keys
-        return id(self)
-
-    def __eq__(self, other: object) -> bool:
-        return self is other
+    def __init__(
+        self,
+        name: str,
+        gen: Generator[Request, Any, Any],
+        engine: "Engine",
+        affinity: "Optional[Core]" = None,
+    ) -> None:
+        self.name = name
+        self.gen = gen
+        self.engine = engine
+        self.affinity = affinity
+        self.state: ThreadState = ThreadState.READY
+        self.result: Any = None
+        self.cpu_time: float = 0.0     # dedicated-core seconds actually delivered
+        self.started_at: float = 0.0
+        self.finished_at: Optional[float] = None
+        self._joiners: list["SimThread"] = []
+        self._current_core: "Optional[Core]" = None
 
     @property
     def alive(self) -> bool:

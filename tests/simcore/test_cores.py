@@ -107,6 +107,33 @@ def test_timed_device_serializes_fifo():
     assert dev.busy_time == pytest.approx(0.6)
 
 
+def test_deep_device_queue_drains_in_fifo_order():
+    """A deep accelerator backlog is served strictly in arrival order.
+
+    Regression guard for the wait queue's deque representation: every frame
+    of every app funnels through one FFT IP in the Fig. 5 configuration, so
+    the queue genuinely grows hundreds deep and draining it must stay
+    linear (a list ``pop(0)`` here is quadratic and silently reorders
+    nothing - only order, not cost, is observable, hence this test pins the
+    order while the benchmark suite pins the cost).
+    """
+    n = 300
+    eng = Engine(cores=1)
+    dev = eng.add_device("fft0")
+    order = []
+
+    def user(i):
+        yield UseDevice(dev, 1e-3)
+        order.append(i)
+
+    for i in range(n):
+        eng.spawn(user(i), f"u{i}")
+    eng.run()
+    assert order == list(range(n))
+    assert dev.served == n
+    assert eng.now == pytest.approx(n * 1e-3)
+
+
 def test_device_utilization():
     eng = Engine(cores=1)
     dev = eng.add_device("d")

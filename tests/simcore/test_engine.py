@@ -224,6 +224,26 @@ def test_strict_run_raises_on_blocked_threads():
         eng.run()
 
 
+def test_deadlock_message_names_blocked_threads():
+    """The strict-mode deadlock report still names every stuck thread.
+
+    The deadlock check is deliberately lazy (the blocked-thread list is
+    only materialized when the run actually deadlocks); this pins that the
+    diagnostic quality did not lazily evaporate with it.
+    """
+    eng = Engine(cores=1)
+
+    def stuck():
+        yield Block()
+
+    eng.spawn(stuck(), "consumer-a")
+    eng.spawn(stuck(), "consumer-b")
+    with pytest.raises(SimDeadlock, match=r"2 thread\(s\)") as excinfo:
+        eng.run()
+    assert "consumer-a" in str(excinfo.value)
+    assert "consumer-b" in str(excinfo.value)
+
+
 def test_non_strict_run_returns_with_blocked_threads():
     eng = Engine(cores=1)
 
