@@ -8,8 +8,6 @@ once per *wave* instead of once per call, is far less sensitive - the
 quantitative argument for the paper's dual blocking/non-blocking design.
 """
 
-import dataclasses
-
 import numpy as np
 
 from repro.apps import PulseDoppler

@@ -49,7 +49,7 @@ def test_tiled_conv_cuts_modeled_fft_work(benchmark):
                  modeled_fft_seconds_tiled(540, 960)),
         rounds=1, iterations=1,
     )
-    print(f"\nmodeled FFT work for one 960x540 LD convolution pass:")
+    print("\nmodeled FFT work for one 960x540 LD convolution pass:")
     print(f"  whole-image (1024 tile): {whole*1e3:8.1f} ms of CPU-FFT work")
     print(f"  overlap-save (64 tiles): {tiled*1e3:8.1f} ms of CPU-FFT work")
     assert tiled < 0.5 * whole

@@ -11,7 +11,6 @@ keeps every kernel schedulable, reaches the GPU, and finishes far sooner.
 """
 
 import numpy as np
-import pytest
 
 from repro.dag import DagBuilder, collapse_subgraph, parse_dag
 from repro.platforms import jetson, zcu102

@@ -48,7 +48,7 @@ APP_FACTORIES = {
 }
 
 PLATFORM_NAMES = ("zcu102", "jetson", "zcu102-biglittle")
-FIGURE_IDS = ("fig5", "fig67", "fig8", "fig9", "fig10a", "fig10b")
+FIGURE_IDS = ("fig5", "fig67", "fig8", "fig9", "fig10a", "fig10b", "resilience")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -85,6 +85,19 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--verbose", action="store_true",
                      help="also print simulator perf counters "
                           "(events processed per wall second)")
+    run.add_argument("--perf-json", metavar="PATH", default=None,
+                     help="dump the runtime's PerfCounters snapshot "
+                          "(incl. fault/retry counters) as JSON to PATH")
+    run.add_argument("--fault-rate", type=float, default=0.0,
+                     help="per-PE fault rate, faults per simulated second "
+                          "(0 disables fault injection)")
+    run.add_argument("--fault-seed", type=int, default=None,
+                     help="fault-schedule seed (default: derive from --seed)")
+    run.add_argument("--fault-kinds", default="transient,hang,slowdown",
+                     help="comma list of fault kinds to inject "
+                          "(transient,hang,failstop,slowdown)")
+    run.add_argument("--max-retries", type=int, default=3,
+                     help="per-task retry budget before the app is failed")
 
     fig = sub.add_parser("figure", help="regenerate one evaluation figure")
     fig.add_argument("id", choices=FIGURE_IDS)
@@ -94,6 +107,9 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument("--jobs", type=int, default=None,
                      help="worker processes for the sweep (-1 = all cores; "
                           "default: $REPRO_JOBS or serial)")
+    fig.add_argument("--fault-seed", type=int, default=None,
+                     help="resilience figure only: pin one fault schedule "
+                          "across trials (default: derive from trial seeds)")
     return parser
 
 
@@ -145,9 +161,26 @@ def _cmd_run(args) -> int:
     workload = WorkloadSpec(name="cli", entries=entries)
     platform_cfg = _make_platform(args)
     platform = platform_cfg.build(seed=args.seed)
+    faults = None
+    if args.fault_rate > 0.0:
+        from repro.faults import FaultConfig
+
+        try:
+            faults = FaultConfig(
+                rate=args.fault_rate,
+                seed=args.fault_seed,
+                kinds=FaultConfig.parse_kinds(args.fault_kinds),
+                max_retries=args.max_retries,
+            )
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
     runtime = CedrRuntime(
         platform,
-        RuntimeConfig(scheduler=args.scheduler, execute_kernels=not args.timing_only),
+        RuntimeConfig(
+            scheduler=args.scheduler,
+            execute_kernels=not args.timing_only,
+            faults=faults,
+        ),
     )
     runtime.start()
     for app, arrival in workload.instantiate(args.mode, args.rate, args.seed):
@@ -169,6 +202,18 @@ def _cmd_run(args) -> int:
           f"({result.sched_rounds} rounds, ready depth mean "
           f"{result.ready_depth_mean:.1f} / max {result.ready_depth_max})")
     print(f"placement : {result.pe_task_histogram}")
+    if faults is not None:
+        print(f"faults    : {result.faults_injected} injected, "
+              f"{result.task_failures} task failures, {result.retries} retries, "
+              f"{result.tasks_lost} tasks lost, {result.n_failed} apps failed "
+              f"(goodput {result.goodput:.2f}, MTTR "
+              f"{result.mean_time_to_recovery * 1e3:.2f} ms)")
+    if args.perf_json:
+        import json
+
+        with open(args.perf_json, "w", encoding="utf-8") as fh:
+            json.dump(runtime.counters.snapshot(), fh, indent=2, sort_keys=True)
+        print(f"perf json : wrote {args.perf_json}")
     if args.verbose:
         counters = runtime.counters
         print(f"perf      : {runtime.engine.events_processed} engine events in "
@@ -231,6 +276,17 @@ def _cmd_figure(args) -> int:
     elif args.id == "fig10b":
         fig = run_fig10b(trials=args.trials, seed=args.seed, n_jobs=jobs)
         print(format_series_table(fig, y_scale=1e3, y_fmt="{:10.1f}"))
+    elif args.id == "resilience":
+        from repro.experiments import run_fig_resilience
+
+        panels = run_fig_resilience(
+            trials=args.trials, seed=args.seed,
+            fault_seed=args.fault_seed, n_jobs=jobs,
+        )
+        print(format_series_table(panels["resilience_exec"],
+                                  y_scale=1e3, y_fmt="{:10.2f}"))
+        print()
+        print(format_series_table(panels["resilience_goodput"], y_fmt="{:10.3f}"))
     return 0
 
 

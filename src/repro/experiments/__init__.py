@@ -11,6 +11,7 @@ from .fig67_exec_sched import run_fig6_fig7
 from .fig8_jetson import run_fig8
 from .fig9_versatility import av_workload_scaled, run_fig9
 from .fig10_scalability import JETSON_RATE_MBPS, ZCU_RATE_MBPS, run_fig10a, run_fig10b
+from .fig_resilience import FAULT_RATES, RESILIENCE_RATE_MBPS, run_fig_resilience
 
 __all__ = [
     "run_once",
@@ -29,4 +30,7 @@ __all__ = [
     "run_fig10b",
     "ZCU_RATE_MBPS",
     "JETSON_RATE_MBPS",
+    "run_fig_resilience",
+    "FAULT_RATES",
+    "RESILIENCE_RATE_MBPS",
 ]

@@ -41,6 +41,16 @@ class RunResult:
     tasks_completed: int
     pe_task_histogram: dict[str, int] = field(default_factory=dict)
 
+    # -- resilience metrics (repro.faults); all zero in fault-free runs --- #
+    #: apps declared failed after a task exhausted its retry budget.
+    n_failed: int = 0
+    faults_injected: int = 0
+    task_failures: int = 0
+    retries: int = 0
+    tasks_lost: int = 0
+    #: average first-failure -> successful-completion interval (seconds).
+    mean_time_to_recovery: float = 0.0
+
     @classmethod
     def from_runtime(cls, runtime: "CedrRuntime") -> "RunResult":
         finished = [a for a in runtime.apps.values() if a.finished]
@@ -48,25 +58,33 @@ class RunResult:
         if unfinished:
             names = ", ".join(f"{a.name}#{a.app_id}" for a in unfinished[:8])
             raise RuntimeError(f"run ended with unfinished applications: {names}")
-        # cancelled apps terminated early by the kill command: they count in
-        # n_cancelled but are excluded from the execution-time statistics
-        apps = [a for a in finished if not a.cancelled]
+        # cancelled apps terminated early by the kill command, failed apps
+        # by the fault subsystem: both count separately and are excluded
+        # from the execution-time statistics
+        apps = [a for a in finished if not a.cancelled and not a.failed]
         by_app: dict[str, list[float]] = {}
         for a in apps:
             by_app.setdefault(a.name, []).append(a.execution_time)
+        counters = runtime.counters
         return cls(
             n_apps=len(apps),
-            n_cancelled=len(finished) - len(apps),
+            n_cancelled=sum(1 for a in finished if a.cancelled),
             exec_times=tuple(a.execution_time for a in apps),
             exec_times_by_app={k: tuple(v) for k, v in by_app.items()},
             runtime_overhead_s=runtime.metrics.runtime_overhead_s,
             sched_overhead_s=runtime.metrics.sched_overhead_s,
-            sched_rounds=runtime.counters.sched_rounds,
-            ready_depth_mean=runtime.counters.ready_depth_mean,
-            ready_depth_max=runtime.counters.ready_depth_max,
+            sched_rounds=counters.sched_rounds,
+            ready_depth_mean=counters.ready_depth_mean,
+            ready_depth_max=counters.ready_depth_max,
             makespan=runtime.metrics.makespan,
-            tasks_completed=runtime.counters.tasks_completed,
+            tasks_completed=counters.tasks_completed,
             pe_task_histogram=runtime.logbook.tasks_by_pe(),
+            n_failed=sum(1 for a in finished if a.failed and not a.cancelled),
+            faults_injected=counters.faults_injected,
+            task_failures=counters.task_failures,
+            retries=counters.retries,
+            tasks_lost=counters.tasks_lost,
+            mean_time_to_recovery=counters.mean_time_to_recovery,
         )
 
     # -- the paper's normalized metrics ------------------------------------ #
@@ -88,3 +106,10 @@ class RunResult:
         """Average execution time of one application stream."""
         times = self.exec_times_by_app.get(app_name, ())
         return float(np.mean(times)) if times else 0.0
+
+    @property
+    def goodput(self) -> float:
+        """Fraction of (non-cancelled) applications that completed
+        successfully despite injected faults; 1.0 in a fault-free run."""
+        total = self.n_apps + self.n_failed
+        return self.n_apps / total if total else 1.0

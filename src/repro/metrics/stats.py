@@ -54,6 +54,7 @@ _METRICS: dict[str, Callable[[RunResult], float]] = {
     "sched_overhead": lambda r: r.sched_overhead_per_app,
     "makespan": lambda r: r.makespan,
     "ready_depth_mean": lambda r: r.ready_depth_mean,
+    "goodput": lambda r: r.goodput,
 }
 
 

@@ -105,6 +105,23 @@ class PE:
     busy_until: float = 0.0
     stats: dict = field(default_factory=dict)
 
+    # -- fault-injection state (repro.faults); inert without faults -------- #
+    #: live mask consulted by the schedulers via ``Scheduler.compatible``:
+    #: False while the PE is quarantined after a detected failure or dead.
+    available: bool = True
+    #: fail-stop death: permanent, ``available`` never returns to True.
+    dead: bool = False
+    #: bumped per quarantine so a stale revival timer cannot un-quarantine
+    #: a PE that failed again in the meantime.
+    quarantine_epoch: int = 0
+    #: pending injected faults consumed by the worker at task completion.
+    transient_pending: int = 0
+    hang_pending: int = 0
+    #: multiplicative execution-time degradation while a slowdown fault is
+    #: active (1.0 = healthy); ``slow_epoch`` guards the revert timer.
+    fault_slow_factor: float = 1.0
+    slow_epoch: int = 0
+
     @property
     def name(self) -> str:
         return self.desc.name

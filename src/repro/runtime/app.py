@@ -54,6 +54,9 @@ class AppInstance:
     #: set by the kill IPC command (DAG mode); a cancelled app counts as
     #: finished but executed only the tasks already in flight.
     cancelled: bool = False
+    #: set by the fault subsystem when one of the app's tasks exhausts its
+    #: retry budget; the app terminates early and counts against goodput.
+    failed: bool = False
 
     def __post_init__(self) -> None:
         if self.mode not in (DAG_MODE, API_MODE):

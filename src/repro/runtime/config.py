@@ -15,6 +15,9 @@ API-vs-DAG reduction (see EXPERIMENTS.md).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.faults.model import FaultConfig
 
 __all__ = ["RuntimeCosts", "RuntimeConfig"]
 
@@ -92,6 +95,11 @@ class RuntimeConfig:
     #: epoch-style scheduling (the scheduling-period ablation sweeps it).
     sched_period_s: float = 0.0
     costs: RuntimeCosts = field(default_factory=RuntimeCosts)
+    #: fault-injection and recovery-policy configuration (repro.faults).
+    #: ``None`` - or a config with rate 0 and no scripted faults - keeps the
+    #: runtime on the exact pre-fault code paths: no injector, no watchdog
+    #: timers, no extra events, bit-identical behaviour.
+    faults: Optional[FaultConfig] = None
 
     def with_scheduler(self, name: str) -> "RuntimeConfig":
         return replace(self, scheduler=name)

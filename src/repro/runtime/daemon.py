@@ -18,7 +18,32 @@ the platform's reserved runtime core and:
 The daemon exits once the runtime is sealed (no more submissions) and every
 submitted application has completed, then wakes all workers with a shutdown
 sentinel and stamps the logbook - the analogue of the shutdown IPC command
-followed by log serialization.
+followed by log serialization.  With fault injection active the drain
+condition additionally waits out retry backoff timers and parked tasks, so
+a fault on the final task of an application is recovered rather than
+abandoned at shutdown.
+
+Fault detection + recovery (repro.faults)
+-----------------------------------------
+
+When the runtime config carries an active :class:`~repro.faults.FaultConfig`
+the daemon grows four responsibilities, all gated so fault-free runs stay
+bit-identical to the pre-fault runtime:
+
+* every dispatch arms a *watchdog* timer (expected completion + grace +
+  ``watchdog_factor x estimate``); if it fires first, the dispatch is
+  invalidated via the task's ``dispatch_epoch`` and recovery begins;
+* ``task_failed`` events from workers (transient faults, hangs, fail-stop
+  bounces) and watchdog expiries feed one *retry policy*: capped
+  exponential backoff, optionally excluding the PEs the task failed on,
+  until ``max_retries`` is exhausted and the task - and its application -
+  is declared lost;
+* failed PEs are *quarantined* (``pe.available = False``, revived by
+  timer) so schedulers see a live PE mask through
+  ``Scheduler.compatible``; fail-stop PEs never revive;
+* before each round the ready batch is partitioned: tasks with no live
+  candidate PE are *parked* until a revival, tasks whose every supporting
+  PE is dead are lost immediately.
 """
 
 from __future__ import annotations
@@ -29,6 +54,7 @@ from typing import TYPE_CHECKING, Any, Generator, Optional
 
 import numpy as np
 
+from repro.faults import FaultInjector, TaskLostError
 from repro.platforms import PE, PEKind, PlatformInstance
 from repro.sched import Scheduler, make_scheduler
 from repro.sched.heft_rt import upward_ranks
@@ -133,6 +159,18 @@ class CedrRuntime:
         self._round_due = False
         self._estimate_cache: dict[tuple, float] = {}
         self.daemon_thread: Optional[SimThread] = None
+        #: fault injection + recovery state; ``None`` whenever the config
+        #: carries no active fault model (the bit-identical fast path).
+        self.faults: Optional[FaultInjector] = (
+            FaultInjector(self, config.faults)
+            if config.faults is not None and config.faults.active
+            else None
+        )
+        #: ready tasks with no *live* candidate PE, waiting for a revival.
+        self._parked: list[Task] = []
+        #: tasks sitting in a retry-backoff timer (failure seen, not yet
+        #: re-enqueued); part of the shutdown drain condition.
+        self._retry_limbo = 0
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -152,6 +190,8 @@ class CedrRuntime:
         for pe in self.platform.pes:
             affinity = pe.core if pe.kind is PEKind.CPU else pe.host_core
             self.engine.spawn(worker_body(self, pe), name=f"worker-{pe.name}", affinity=affinity)
+        if self.faults is not None:
+            self.faults.arm()
 
     def submit(self, app: AppInstance, at: float) -> None:
         """Schedule *app* to arrive over IPC at simulated time ``at``."""
@@ -283,6 +323,16 @@ class CedrRuntime:
                     yield from self._handle_app_done(payload)
                 elif kind == "cancel":
                     yield from self._handle_cancel(payload)
+                elif kind == "task_failed":
+                    yield from self._handle_task_failed(payload)
+                elif kind == "watchdog":
+                    yield from self._handle_watchdog(payload)
+                elif kind == "retry":
+                    yield from self._handle_retry(payload)
+                elif kind == "pe_dead":
+                    yield from self._handle_pe_dead(payload)
+                elif kind == "pe_revive":
+                    self._handle_pe_revive(payload)
                 elif kind == "kick":
                     pass  # doorbell: fall through to the scheduling round
                 else:  # pragma: no cover - internal protocol
@@ -316,11 +366,21 @@ class CedrRuntime:
                 self._sealed
                 and self._completed == self._submitted
                 and not self._work_in_flight()
+                and self._retry_limbo == 0
+                and not self._parked
             ):
                 # all apps accounted for AND the workers are drained (a
                 # killed app's in-flight tasks still produce task_done
-                # events the logs must absorb before shutdown)
+                # events the logs must absorb before shutdown) AND no task
+                # is sitting in a retry-backoff timer or parked awaiting a
+                # PE revival - a fault on the final task of an app must be
+                # retried to completion, not abandoned at shutdown
                 break
+        if self.faults is not None:
+            # Stop the infinite per-PE fault streams: without this the
+            # one-timer-ahead chain keeps the engine's timer heap populated
+            # forever and the simulation never terminates.
+            self.faults.disarm()
         self._shutdown_workers()
         self.metrics.makespan = self.engine.now
         self.metrics.apps_completed = self._completed
@@ -368,7 +428,13 @@ class CedrRuntime:
         from repro.core.api import CedrClient
 
         client = CedrClient(self, app)
-        app.result = yield from app.main_factory(client)
+        try:
+            app.result = yield from app.main_factory(client)
+        except TaskLostError:
+            # one of this app's tasks exhausted its retry budget; the
+            # daemon already marked the app failed and settled the
+            # outstanding handles - the thread just unwinds and terminates
+            pass
         self.post(("app_done", app))
 
     def _handle_cancel(self, app: AppInstance) -> Generator[Request, Any, None]:
@@ -383,6 +449,8 @@ class CedrRuntime:
             else:
                 survivors.append(task)
         self.ready = survivors
+        if self._parked:
+            self._parked = [t for t in self._parked if t.app_id != app.app_id]
         app.cancelled = True
         yield from self._finish_app(app)
 
@@ -391,8 +459,12 @@ class CedrRuntime:
         yield self._charge(costs.queue_pop_us)
         app = self.apps[task.app_id]
         app.tasks_done += 1
-        if app.cancelled:
-            return  # straggler from a killed app: log-only, release nothing
+        if self.faults is not None and task.t_first_failure >= 0.0:
+            # the task failed earlier and has now completed successfully:
+            # one recovery, measured first-failure -> completion
+            self.counters.record_recovery(self.engine.now - task.t_first_failure)
+        if app.cancelled or app.failed:
+            return  # straggler from a killed/failed app: log-only
         if app.mode == DAG_MODE:
             for succ in task.successors:
                 yield self._charge(costs.dep_update_us)
@@ -417,6 +489,10 @@ class CedrRuntime:
 
     def _schedule_round(self) -> Generator[Request, Any, None]:
         batch, self.ready = self.ready, []
+        if self.faults is not None:
+            batch = yield from self._filter_schedulable(batch)
+            if not batch:
+                return
         pes = self.platform.pes
         cost = self.scheduler.round_cost(len(batch), len(pes))
         self.metrics.sched_overhead_s += cost
@@ -428,6 +504,7 @@ class CedrRuntime:
         # tasks - the runtime analogue of CEDR consulting its execution-time
         # profiles plus the live queue state.
         now = self.engine.now
+        self.logbook.record_round(now, len(batch))
         for pe in pes:
             pe.expected_free = now + pe.outstanding_est * pe.slowdown
         assignments = self.scheduler.schedule(batch, pes, now, self._estimate)
@@ -436,7 +513,241 @@ class CedrRuntime:
             task.t_scheduled = self.engine.now
             task.est_used = self._estimate(task, pe)
             pe.outstanding_est += task.est_used
-            self.mailboxes[pe.index].put_nowait(task)
+            if self.faults is None:
+                self.mailboxes[pe.index].put_nowait(task)
+            else:
+                # epoch-stamped dispatch: the worker compares its stamp
+                # against task.dispatch_epoch to detect invalidation, and
+                # the watchdog deadline covers queue wait + execution
+                task.pe = pe
+                task.dispatch_epoch += 1
+                self.mailboxes[pe.index].put_nowait((task, task.dispatch_epoch))
+                if task.attempts > 0:
+                    self.faults.retry_records.append(
+                        (self.engine.now, task.tid, task.attempts, pe.name)
+                    )
+                self._arm_watchdog(task, pe)
+
+    # ------------------------------------------------------------------ #
+    # fault detection + recovery (active only with a fault model armed)
+    # ------------------------------------------------------------------ #
+
+    def _filter_schedulable(self, batch: list[Task]) -> Generator[Request, Any, list[Task]]:
+        """Partition a ready batch against the live PE mask.
+
+        Tasks of cancelled/failed apps are dropped, tasks with no live
+        candidate PE are parked until a revival, tasks whose every
+        supporting PE is dead are lost outright.  Only tasks with at least
+        one live candidate reach the scheduling heuristic - which is what
+        lets ``Scheduler.compatible`` treat an all-unavailable candidate
+        set as a runtime bug.
+        """
+        pes = self.platform.pes
+        runnable: list[Task] = []
+        for task in batch:
+            app = self.apps[task.app_id]
+            if app.cancelled or app.failed:
+                yield from self._drop_task(task)
+                continue
+            supporters = [pe for pe in pes if pe.supports(task.api)]
+            if any(pe.available for pe in supporters):
+                runnable.append(task)
+            elif any(not pe.dead for pe in supporters):
+                self._parked.append(task)
+            else:
+                yield from self._task_lost(task)
+        # a lost task fails its whole application, which may invalidate
+        # batch-mates already deemed runnable above
+        out: list[Task] = []
+        for task in runnable:
+            app = self.apps[task.app_id]
+            if app.cancelled or app.failed:
+                yield from self._drop_task(task)
+            else:
+                out.append(task)
+        return out
+
+    def _arm_watchdog(self, task: Task, pe: PE) -> None:
+        """Per-dispatch deadline: expected drain + grace + factor x estimate.
+
+        The slack doubles with every retry the task has already consumed:
+        a deadline miss is only a *suspicion* of failure, and a task that
+        keeps missing escalating deadlines is far more likely queued behind
+        genuinely degraded PEs than hung itself - geometric patience keeps
+        false positives from exhausting the retry budget while still
+        detecting real hangs quickly on the first dispatch.
+        """
+        cfg = self.faults.config
+        slack = (
+            cfg.watchdog_grace_s
+            + cfg.watchdog_factor * task.est_used * max(1.0, pe.slowdown)
+        )
+        deadline = (
+            max(pe.expected_free, self.engine.now)
+            + slack * (1 << min(task.attempts, 8))
+        )
+        epoch = task.dispatch_epoch
+        self.engine.call_at(
+            deadline, lambda: self.events.post(("watchdog", (task, epoch)))
+        )
+
+    def _handle_task_failed(self, payload: tuple) -> Generator[Request, Any, None]:
+        """A worker detected a failed attempt (transient/hang/fail-stop)."""
+        task, pe, epoch, kind = payload
+        yield self._charge(self.config.costs.queue_pop_us)
+        if task.dispatch_epoch != epoch or task.state is TaskState.DONE:
+            # the watchdog got here first and already re-dispatched
+            self.counters.record_stale_dispatch()
+            return
+        yield from self._recover(task, pe, kind)
+
+    def _handle_watchdog(self, payload: tuple) -> Generator[Request, Any, None]:
+        """A per-dispatch deadline expired; recover unless already settled."""
+        task, epoch = payload
+        if task.dispatch_epoch != epoch or task.state not in (
+            TaskState.SCHEDULED,
+            TaskState.RUNNING,
+        ):
+            return  # completed, failed, or re-dispatched in time: benign
+        yield self._charge(self.config.costs.queue_pop_us)
+        pe = task.pe
+        # invalidate the in-flight/queued dispatch: the worker holding the
+        # stale epoch discards silently, and this side reclaims the backlog
+        task.dispatch_epoch += 1
+        if pe is not None:
+            pe.outstanding_est = max(0.0, pe.outstanding_est - task.est_used)
+        yield from self._recover(task, pe, "watchdog")
+
+    def _recover(self, task: Task, pe: Optional[PE], kind: str) -> Generator[Request, Any, None]:
+        """Shared failure tail: quarantine the PE, then retry or give up."""
+        cfg = self.faults.config
+        now = self.engine.now
+        self.counters.record_task_failure(kind)
+        if task.t_first_failure < 0.0:
+            task.t_first_failure = now
+        if pe is not None and not pe.dead and kind != "watchdog":
+            # Quarantine only on worker-confirmed faults.  A watchdog expiry
+            # is a suspicion - most often a task queued behind a hung or
+            # slowed PE - and pulling a merely-busy PE out of the live mask
+            # shrinks capacity exactly when the backlog is worst, cascading
+            # further deadline misses.  The re-dispatch already bans the
+            # suspect PE for this task, which is enough to route around it.
+            self._quarantine(pe)
+        app = self.apps[task.app_id]
+        if app.cancelled or app.failed:
+            yield from self._drop_task(task)
+            return
+        if task.attempts >= cfg.max_retries:
+            yield from self._task_lost(task)
+            return
+        task.attempts += 1
+        self.counters.record_retry()
+        if cfg.exclude_failed_pe and pe is not None:
+            task.banned_pes = task.banned_pes | frozenset((pe.index,))
+        task.state = TaskState.CREATED  # retry limbo until the backoff fires
+        self._retry_limbo += 1
+        self.engine.call_at(
+            now + cfg.backoff(task.attempts),
+            lambda: self.events.post(("retry", task)),
+        )
+
+    def _handle_retry(self, task: Task) -> Generator[Request, Any, None]:
+        """Backoff elapsed: re-enqueue the task for the next round."""
+        self._retry_limbo -= 1
+        app = self.apps[task.app_id]
+        if app.cancelled or app.failed:
+            yield from self._drop_task(task)
+            return
+        yield self._charge(self.config.costs.queue_push_us)
+        task.state = TaskState.READY
+        task.t_release = self.engine.now
+        self.ready.append(task)
+        self._round_due = True
+
+    def _quarantine(self, pe: PE) -> None:
+        """Pull *pe* out of the live mask; revive after ``quarantine_s``."""
+        cfg = self.faults.config
+        pe.quarantine_epoch += 1
+        epoch = pe.quarantine_epoch
+        if pe.available:
+            pe.available = False
+            self.counters.record_quarantine()
+        self.engine.call_at(
+            self.engine.now + cfg.quarantine_s,
+            lambda: self.events.post(("pe_revive", (pe, epoch))),
+        )
+
+    def _handle_pe_revive(self, payload: tuple) -> None:
+        pe, epoch = payload
+        if pe.dead or pe.quarantine_epoch != epoch:
+            return  # died meanwhile, or re-quarantined (newer timer owns it)
+        if not pe.available:
+            pe.available = True
+            self.counters.record_revival()
+        if self._parked:
+            # parked tasks get another shot now that the mask grew back
+            self.ready.extend(self._parked)
+            self._parked = []
+            self._round_due = True
+
+    def _handle_pe_dead(self, pe: PE) -> Generator[Request, Any, None]:
+        """A fail-stop fault landed; re-triage every parked task."""
+        parked, self._parked = self._parked, []
+        pes = self.platform.pes
+        for task in parked:
+            app = self.apps[task.app_id]
+            if app.cancelled or app.failed:
+                yield from self._drop_task(task)
+                continue
+            supporters = [p for p in pes if p.supports(task.api)]
+            if all(p.dead for p in supporters):
+                yield from self._task_lost(task)
+            else:
+                self._parked.append(task)
+
+    def _task_lost(self, task: Task) -> Generator[Request, Any, None]:
+        """Retry budget exhausted (or no PE left): fail the application.
+
+        The app's still-queued sibling tasks are dropped with their handles
+        settled, so an API-mode application thread blocked anywhere in its
+        call sequence wakes up, observes :class:`TaskLostError`, and
+        unwinds; DAG-mode applications terminate immediately.
+        """
+        app = self.apps[task.app_id]
+        if app.cancelled or app.failed or app.finished:
+            yield from self._drop_task(task)
+            return
+        self.counters.record_task_lost()
+        app.failed = True
+        costs = self.config.costs
+        error = TaskLostError(
+            f"task {task.tid} ({task.api}:{task.name}) of app "
+            f"{app.name}#{app.app_id} lost after {task.attempts} retries"
+        )
+        dropped = [t for t in self.ready if t.app_id == app.app_id]
+        self.ready = [t for t in self.ready if t.app_id != app.app_id]
+        dropped.extend(t for t in self._parked if t.app_id == app.app_id)
+        self._parked = [t for t in self._parked if t.app_id != app.app_id]
+        for t in dropped:
+            yield self._charge(costs.queue_pop_us)
+            if t.completion is not None and not t.completion.done:
+                yield from t.completion.fail(error)
+        if app.mode == DAG_MODE:
+            yield from self._finish_app(app)
+        elif task.completion is not None and not task.completion.done:
+            # wake the application thread wherever it blocks; _app_thread
+            # catches the raise and posts app_done
+            yield from task.completion.fail(error)
+
+    def _drop_task(self, task: Task) -> Generator[Request, Any, None]:
+        """Drop a task of a cancelled/failed app, settling any open handle."""
+        if task.completion is not None and not task.completion.done:
+            yield from task.completion.fail(
+                TaskLostError(
+                    f"task {task.tid} ({task.api}:{task.name}) dropped: "
+                    f"application {task.app_id} was cancelled or failed"
+                )
+            )
 
     def _work_in_flight(self) -> bool:
         """Tasks still queued at or executing on any worker."""

@@ -84,10 +84,17 @@ class Logbook:
         self.enabled = enabled
         self.tasks: list[TaskRecord] = []
         self.apps: dict[int, AppRecord] = {}
+        #: (time, ready-queue depth) per scheduling round - the trace
+        #: exporter renders this as a Perfetto counter track.
+        self.rounds: list[tuple[float, int]] = []
 
     def record_task(self, task: Task) -> None:
         if self.enabled:
             self.tasks.append(TaskRecord.from_task(task))
+
+    def record_round(self, now: float, ready_depth: int) -> None:
+        if self.enabled:
+            self.rounds.append((now, ready_depth))
 
     def open_app(self, record: AppRecord) -> None:
         self.apps[record.app_id] = record
@@ -102,6 +109,7 @@ class Logbook:
         return {
             "tasks": [asdict(t) for t in self.tasks],
             "apps": [asdict(a) for a in self.apps.values()],
+            "rounds": [list(r) for r in self.rounds],
         }
 
     def save(self, path) -> str:

@@ -47,6 +47,28 @@ class PerfCounters:
     engine_events: int = 0
     wall_seconds: float = 0.0
 
+    # -- fault injection + recovery (repro.faults) ------------------------ #
+    #: faults applied by the injector, total and per fault kind.
+    faults_injected: int = 0
+    faults_by_kind: dict[str, int] = field(default_factory=dict)
+    #: failed task attempts detected, per detection kind ("transient",
+    #: "hang", "failstop", plus "watchdog" for missed-deadline recoveries).
+    task_failures: int = 0
+    failures_by_kind: dict[str, int] = field(default_factory=dict)
+    #: retry re-enqueues issued by the recovery policy.
+    retries: int = 0
+    #: tasks abandoned after exhausting their retry budget (their
+    #: applications are declared failed).
+    tasks_lost: int = 0
+    #: invalidated dispatches discarded by workers (the watchdog already
+    #: re-dispatched the task elsewhere).
+    stale_dispatches: int = 0
+    pe_quarantines: int = 0
+    pe_revivals: int = 0
+    #: first-failure -> successful-completion intervals (time-to-recovery).
+    recoveries: int = 0
+    recovery_time_sum: float = 0.0
+
     def record_task(self, pe_name: str, api: str, service_time: float) -> None:
         if not self.enabled:
             return
@@ -66,6 +88,50 @@ class PerfCounters:
             return
         self.wall_seconds += wall_seconds
         self.engine_events = engine_events
+
+    def record_fault(self, kind: str) -> None:
+        if not self.enabled:
+            return
+        self.faults_injected += 1
+        self.faults_by_kind[kind] = self.faults_by_kind.get(kind, 0) + 1
+
+    def record_task_failure(self, kind: str) -> None:
+        if not self.enabled:
+            return
+        self.task_failures += 1
+        self.failures_by_kind[kind] = self.failures_by_kind.get(kind, 0) + 1
+
+    def record_retry(self) -> None:
+        if self.enabled:
+            self.retries += 1
+
+    def record_task_lost(self) -> None:
+        if self.enabled:
+            self.tasks_lost += 1
+
+    def record_stale_dispatch(self) -> None:
+        if self.enabled:
+            self.stale_dispatches += 1
+
+    def record_quarantine(self) -> None:
+        if self.enabled:
+            self.pe_quarantines += 1
+
+    def record_revival(self) -> None:
+        if self.enabled:
+            self.pe_revivals += 1
+
+    def record_recovery(self, seconds: float) -> None:
+        """One task recovered: first failure to successful completion."""
+        if not self.enabled:
+            return
+        self.recoveries += 1
+        self.recovery_time_sum += seconds
+
+    @property
+    def mean_time_to_recovery(self) -> float:
+        """Average first-failure -> completion interval of recovered tasks."""
+        return self.recovery_time_sum / self.recoveries if self.recoveries else 0.0
 
     @property
     def ready_depth_mean(self) -> float:
@@ -92,4 +158,17 @@ class PerfCounters:
             "engine_events": self.engine_events,
             "wall_seconds": self.wall_seconds,
             "events_per_wall_sec": self.events_per_wall_sec,
+            "faults": {
+                "injected": self.faults_injected,
+                "by_kind": dict(self.faults_by_kind),
+                "task_failures": self.task_failures,
+                "failures_by_kind": dict(self.failures_by_kind),
+                "retries": self.retries,
+                "tasks_lost": self.tasks_lost,
+                "stale_dispatches": self.stale_dispatches,
+                "pe_quarantines": self.pe_quarantines,
+                "pe_revivals": self.pe_revivals,
+                "recoveries": self.recoveries,
+                "mean_time_to_recovery": self.mean_time_to_recovery,
+            },
         }

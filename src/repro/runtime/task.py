@@ -52,16 +52,25 @@ class CompletionHandle:
         self.cond = Condition(self.mutex, name=f"{label}.cv")
         self.done = False
         self.result: Any = None
+        #: set instead of ``result`` when the runtime declares the task
+        #: lost (retry budget exhausted); :meth:`wait` re-raises it on the
+        #: application thread.
+        self.error: Optional[BaseException] = None
 
     def wait(self) -> Generator[Request, Any, Any]:
-        """Block until :meth:`complete` fires; returns the task result.
+        """Block until :meth:`complete` or :meth:`fail` fires.
 
-        Idempotent: waiting on an already-completed handle returns at once.
+        Returns the task result, or raises the failure exception on the
+        *waiting* thread - CEDR's error path surfaces where the
+        application blocks, not inside the daemon.  Idempotent: waiting on
+        an already-settled handle returns (or re-raises) at once.
         """
         yield from self.mutex.acquire()
         while not self.done:
             yield from self.cond.wait()
         self.mutex.release()
+        if self.error is not None:
+            raise self.error
         return self.result
 
     def complete(self, result: Any) -> Generator[Request, Any, None]:
@@ -69,6 +78,14 @@ class CompletionHandle:
         yield from self.mutex.acquire()
         self.done = True
         self.result = result
+        self.cond.notify_all()
+        self.mutex.release()
+
+    def fail(self, error: BaseException) -> Generator[Request, Any, None]:
+        """Daemon-side: settle the handle with *error* and wake the waiter."""
+        yield from self.mutex.acquire()
+        self.done = True
+        self.error = error
         self.cond.notify_all()
         self.mutex.release()
 
@@ -111,6 +128,20 @@ class Task:
     tid: int = field(default_factory=lambda: next(_task_ids))
     pe: Optional["PE"] = None
     result: Any = None
+
+    # -- fault-recovery bookkeeping (repro.faults); inert without faults -- #
+    #: completed retry attempts so far (0 = first dispatch).
+    attempts: int = 0
+    #: PE indices this task already failed on; ``Scheduler.compatible``
+    #: avoids them unless that would leave no candidate at all.
+    banned_pes: frozenset[int] = frozenset()
+    #: bumped by the daemon at every dispatch; a worker holding a copy with
+    #: an older epoch knows its dispatch was invalidated (watchdog fired or
+    #: the task was re-dispatched) and must discard silently.
+    dispatch_epoch: int = 0
+    #: simulated instant of the first failure, for the mean-time-to-recovery
+    #: metric; negative until the task first fails.
+    t_first_failure: float = -1.0
 
     # lifecycle timestamps (simulated seconds)
     t_release: float = 0.0

@@ -8,7 +8,14 @@ and Perfetto), which is the most practical way to *see* a schedule:
 * one trace "process" per PE, with each executed task as a complete event
   (queue wait rendered as a preceding half-opacity span);
 * one process for applications, with an arrival-to-completion span per app;
-* optional counter track of the ready-queue depth per scheduling round.
+* a counter track of the ready-queue depth per scheduling round;
+* with fault injection active, instant events mark every injected fault on
+  its PE's row and every retry re-dispatch on the target PE's row, so
+  Perfetto shows recovery visually.
+
+All emitted numbers are sanitized: non-finite floats (NaN/inf) become
+``null`` so the JSON stays loadable by strict parsers (``json.dump`` runs
+with ``allow_nan=False``).
 
 Usage::
 
@@ -20,6 +27,7 @@ Usage::
 from __future__ import annotations
 
 import json
+import math
 from typing import TYPE_CHECKING, Any, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -29,10 +37,23 @@ __all__ = ["to_chrome_trace", "write_chrome_trace"]
 
 #: trace pid reserved for application lifetime spans
 APP_PID = 1_000_000
+#: trace pid reserved for runtime-level counter tracks (ready-queue depth)
+RUNTIME_PID = 2_000_000
 
 
 def _us(seconds: float) -> float:
     return seconds * 1e6
+
+
+def _sanitize(obj: Any) -> Any:
+    """Replace non-finite floats with None, recursively (JSON-safe)."""
+    if isinstance(obj, float):
+        return obj if math.isfinite(obj) else None
+    if isinstance(obj, dict):
+        return {k: _sanitize(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_sanitize(v) for v in obj]
+    return obj
 
 
 def to_chrome_trace(runtime: "CedrRuntime") -> dict[str, Any]:
@@ -55,6 +76,10 @@ def to_chrome_trace(runtime: "CedrRuntime") -> dict[str, Any]:
     events.append({
         "ph": "M", "name": "process_name", "pid": APP_PID, "tid": 0,
         "args": {"name": "applications"},
+    })
+    events.append({
+        "ph": "M", "name": "process_name", "pid": RUNTIME_PID, "tid": 0,
+        "args": {"name": "cedr-daemon"},
     })
 
     # -- per-task execution + queue-wait spans -------------------------- #
@@ -87,7 +112,35 @@ def to_chrome_trace(runtime: "CedrRuntime") -> dict[str, Any]:
             "args": {"mode": app.mode, "exec_ms": app.execution_time * 1e3},
         })
 
-    return {
+    # -- ready-queue depth counter track -------------------------------- #
+    for t, depth in runtime.logbook.rounds:
+        events.append({
+            "ph": "C", "name": "ready queue", "pid": RUNTIME_PID, "tid": 0,
+            "ts": _us(t), "args": {"depth": depth},
+        })
+
+    # -- fault injections + retry re-dispatches (instant events) -------- #
+    if runtime.faults is not None:
+        for fault in runtime.faults.records:
+            pid = pe_pids.get(fault.pe)
+            if pid is None:
+                continue
+            events.append({
+                "ph": "i", "name": f"fault:{fault.kind.value}", "cat": "fault",
+                "pid": pid, "tid": 0, "ts": _us(fault.at), "s": "p",
+                "args": {"kind": fault.kind.value},
+            })
+        for t, tid, attempt, pe_name in runtime.faults.retry_records:
+            pid = pe_pids.get(pe_name)
+            if pid is None:
+                continue
+            events.append({
+                "ph": "i", "name": "retry", "cat": "fault",
+                "pid": pid, "tid": 0, "ts": _us(t), "s": "p",
+                "args": {"task": tid, "attempt": attempt},
+            })
+
+    return _sanitize({
         "traceEvents": events,
         "displayTimeUnit": "ms",
         "otherData": {
@@ -96,13 +149,15 @@ def to_chrome_trace(runtime: "CedrRuntime") -> dict[str, Any]:
             "makespan_ms": runtime.metrics.makespan * 1e3,
             "apps": runtime.metrics.apps_completed,
             "tasks": runtime.counters.tasks_completed,
+            "faults": runtime.counters.faults_injected,
+            "retries": runtime.counters.retries,
         },
-    }
+    })
 
 
 def write_chrome_trace(path: str, runtime: "CedrRuntime", indent: Optional[int] = None) -> str:
     """Serialize :func:`to_chrome_trace` to *path*; returns the path."""
     trace = to_chrome_trace(runtime)
     with open(path, "w", encoding="utf-8") as fh:
-        json.dump(trace, fh, indent=indent)
+        json.dump(trace, fh, indent=indent, allow_nan=False)
     return path

@@ -13,6 +13,26 @@ Functional execution is layered on top of the timing charge: when
 implementation from the kernel registry - CEDR's "dynamically updates that
 task's function pointer" step - and actually computes the result, so
 integration tests can check numerics end to end.
+
+Fault paths (repro.faults)
+--------------------------
+
+With fault injection active the daemon pushes ``(task, epoch)`` pairs
+instead of bare tasks, and the worker becomes the *detection* point:
+
+* a dispatch whose epoch no longer matches ``task.dispatch_epoch`` was
+  invalidated (the watchdog re-dispatched the task elsewhere) and is
+  discarded silently;
+* a dead PE bounces tasks straight back as fail-stop failures;
+* pending transient/hang faults on the PE turn the completing task into a
+  ``task_failed`` event instead of ``task_done`` - no functional result,
+  no completion signal, no logbook row; the daemon's retry policy decides
+  what happens next;
+* an active slowdown fault stretches the timing charge by the PE's
+  ``fault_slow_factor``.
+
+Fault-free runs take none of these branches and are bit-identical to the
+pre-fault worker.
 """
 
 from __future__ import annotations
@@ -21,7 +41,7 @@ from typing import TYPE_CHECKING, Any, Generator
 
 from repro.kernels.registry import implementation_for
 from repro.platforms.pe import CPU_ONLY_API, PEKind
-from repro.simcore import AcquireDevice, Compute, Request
+from repro.simcore import AcquireDevice, Compute, Request, Sleep
 
 from .task import Task, TaskState
 
@@ -68,6 +88,7 @@ def worker_body(runtime: "CedrRuntime", pe: "PE") -> Generator[Request, Any, Non
     timing = runtime.platform.timing
     engine = runtime.engine
     host_core = pe.core if pe.kind is PEKind.CPU else pe.host_core
+    faults = runtime.faults.config if runtime.faults is not None else None
 
     while True:
         # CEDR workers busy-poll their queues: an idle worker occupies a full
@@ -76,22 +97,48 @@ def worker_body(runtime: "CedrRuntime", pe: "PE") -> Generator[Request, Any, Non
         # makes every added accelerator-management thread costly (Fig. 10).
         host_core.spinners += 1
         try:
-            task = yield from mailbox.get()
+            item = yield from mailbox.get()
         finally:
             host_core.spinners -= 1
-        if task is SHUTDOWN:
+        if item is SHUTDOWN:
             return
+        if faults is None:
+            task, my_epoch = item, 0
+        else:
+            task, my_epoch = item
         assert isinstance(task, Task)
         # in-flight from the instant the task leaves the mailbox, so the
         # daemon's shutdown drain check never races the dispatch segment
         runtime.inflight[pe.index] += 1
+        if faults is not None:
+            if my_epoch != task.dispatch_epoch:
+                # invalidated while still queued: the watchdog re-dispatched
+                # the task and already reclaimed this PE's backlog share.
+                # The kick matters: discarding produces no task_done/
+                # task_failed event, and if this was the last work in flight
+                # the daemon would otherwise block on its event queue forever
+                # instead of re-checking its shutdown condition.
+                runtime.inflight[pe.index] -= 1
+                runtime.counters.record_stale_dispatch()
+                runtime.post(("kick", None))
+                continue
+            if pe.dead:
+                # fail-stop bounce: no cycles spent, straight back to the
+                # daemon for re-scheduling on a live PE
+                runtime.inflight[pe.index] -= 1
+                pe.outstanding_est = max(0.0, pe.outstanding_est - task.est_used)
+                runtime.post(("task_failed", (task, pe, my_epoch, "failstop")))
+                continue
         yield Compute(costs.worker_dispatch_us * 1e-6 * runtime.cost_scale)
 
         task.state = TaskState.RUNNING
         task.t_start = engine.now
 
+        slow = pe.fault_slow_factor if faults is not None else 1.0
         if pe.kind is PEKind.CPU:
             work = timing.cpu_seconds(task.api, task.params)
+            if slow != 1.0:
+                work *= slow
             yield Compute(work * runtime.sample_noise())
         else:
             # Polling dispatch (see TimingModel docstring): every phase is
@@ -100,12 +147,47 @@ def worker_body(runtime: "CedrRuntime", pe: "PE") -> Generator[Request, Any, Non
             # stretches with host-core contention exactly like the real
             # driverless-MMIO management threads.
             parts = timing.accel_parts(task.api, task.params, pe.kind)
-            yield Compute(parts.setup * runtime.sample_noise())
+            setup, busy, teardown = parts.setup, parts.busy, parts.teardown
+            if slow != 1.0:
+                setup, busy, teardown = setup * slow, busy * slow, teardown * slow
+            yield Compute(setup * runtime.sample_noise())
             yield AcquireDevice(pe.device)
             me = engine.current  # the worker thread itself
-            yield Compute(parts.busy * runtime.sample_noise())
-            yield Compute(parts.teardown * runtime.sample_noise())
+            yield Compute(busy * runtime.sample_noise())
+            yield Compute(teardown * runtime.sample_noise())
             pe.device.release(me)
+
+        if faults is not None:
+            failure = None
+            if my_epoch != task.dispatch_epoch or task.state is TaskState.DONE:
+                # the watchdog gave up on this dispatch mid-flight; the est
+                # backlog was reclaimed by the daemon when it re-dispatched
+                runtime.inflight[pe.index] -= 1
+                runtime.counters.record_stale_dispatch()
+                runtime.post(("kick", None))  # wake the shutdown drain check
+                continue
+            if pe.dead:
+                failure = "failstop"
+            elif pe.hang_pending > 0:
+                # wedged accelerator / runaway poll: the worker sits on the
+                # task until either the watchdog steals it (stale on wake)
+                # or the hang window elapses and the failure is detected
+                pe.hang_pending -= 1
+                yield Sleep(faults.hang_s)
+                if my_epoch != task.dispatch_epoch:
+                    runtime.inflight[pe.index] -= 1
+                    runtime.counters.record_stale_dispatch()
+                    runtime.post(("kick", None))  # wake the shutdown drain check
+                    continue
+                failure = "hang"
+            elif pe.transient_pending > 0:
+                pe.transient_pending -= 1
+                failure = "transient"
+            if failure is not None:
+                runtime.inflight[pe.index] -= 1
+                pe.outstanding_est = max(0.0, pe.outstanding_est - task.est_used)
+                runtime.post(("task_failed", (task, pe, my_epoch, failure)))
+                continue
 
         result = _execute_functional(runtime, task, pe)
         task.result = result

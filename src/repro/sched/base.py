@@ -62,14 +62,41 @@ class Scheduler(abc.ABC):
 
     @staticmethod
     def compatible(task: "Task", pes: Sequence["PE"]) -> list["PE"]:
-        """PEs able to execute *task*; raises if none exist."""
+        """PEs able to execute *task* right now; raises if none exist.
+
+        Three filters compose, in order:
+
+        * **support** - the (API, PE kind) matrix; no supporting PE at all
+          is a platform-composition error;
+        * **availability** - the live mask maintained by the fault
+          subsystem (quarantined or dead PEs drop out); the daemon parks
+          tasks with no live candidate before scheduling, so an
+          all-unavailable result raising here indicates a runtime bug
+          rather than a transient condition;
+        * **retry bans** - PEs the task already failed on are avoided,
+          *unless* that would leave no candidate (better a suspect PE than
+          an unrunnable task).
+
+        Fault-free runs have every PE available and no bans, so the result
+        is exactly the support-matrix filter of old.
+        """
         options = [pe for pe in pes if pe.supports(task.api)]
         if not options:
             raise SchedulerError(
                 f"no PE supports API {task.api!r} (task {task.tid}); "
                 "check the platform's accelerator composition"
             )
-        return options
+        live = [pe for pe in options if pe.available]
+        if not live:
+            raise SchedulerError(
+                f"no live PE for API {task.api!r} (task {task.tid}); "
+                "the daemon should have parked this task until a PE revives"
+            )
+        if task.banned_pes:
+            unbanned = [pe for pe in live if pe.index not in task.banned_pes]
+            if unbanned:
+                return unbanned
+        return live
 
 
 _REGISTRY: dict[str, type[Scheduler]] = {}

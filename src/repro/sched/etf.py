@@ -22,7 +22,7 @@ from typing import Sequence
 
 import numpy as np
 
-from .base import EstimateFn, Scheduler, SchedulerError, register_scheduler
+from .base import EstimateFn, Scheduler, register_scheduler
 
 __all__ = ["EarliestTaskFirst"]
 
@@ -42,18 +42,16 @@ class EarliestTaskFirst(Scheduler):
             return []
         est = np.empty((n, p))
         for i, task in enumerate(ready):
-            supported = False
+            # Per-row candidate set honouring the fault subsystem's
+            # availability and ban masks (with the same ban fallback as
+            # Scheduler.compatible); everything else stays +inf so the
+            # argmin never commits to an excluded PE.
+            allowed = {pe.index for pe in self.compatible(task, pes)}
             for j, pe in enumerate(pes):
-                if pe.supports(task.api):
+                if pe.index in allowed:
                     est[i, j] = estimate(task, pe)
-                    supported = True
                 else:
                     est[i, j] = np.inf
-            if not supported:
-                raise SchedulerError(
-                    f"no PE supports API {task.api!r} (task {task.tid}); "
-                    "check the platform's accelerator composition"
-                )
         free = np.array([max(pe.expected_free, now) for pe in pes])
         finish = free[None, :] + est  # (n, p); committed rows become +inf
         assignments = []

@@ -31,13 +31,15 @@ class RoundRobin(Scheduler):
         n = len(pes)
         for task in ready:
             # advance the cursor until a compatible PE comes up; compatibility
-            # is checked against the live support matrix, so a ZIP task skips
-            # over FFT accelerators exactly like CEDR's dispatch loop.
-            self.compatible(task, pes)  # raise early if impossible
+            # is checked against the live support matrix *and* the fault
+            # subsystem's availability/ban masks, so a ZIP task skips over FFT
+            # accelerators and everything skips quarantined or dead PEs
+            # exactly like CEDR's dispatch loop.
+            allowed = {pe.index for pe in self.compatible(task, pes)}
             for _ in range(n):
                 pe = pes[self._cursor % n]
                 self._cursor += 1
-                if pe.supports(task.api):
+                if pe.index in allowed:
                     break
             assignments.append((task, pe))
             pe.expected_free = max(pe.expected_free, now) + estimate(task, pe)

@@ -11,7 +11,6 @@ from repro.experiments import (
     saturated_reduction,
     sweep_rates,
 )
-from repro.platforms import zcu102
 from repro.workload import WorkloadEntry, WorkloadSpec
 
 #: small fast workload for driver-mechanics tests (the real paper workload

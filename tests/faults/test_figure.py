@@ -1,0 +1,31 @@
+"""Resilience-figure driver test on a miniature grid."""
+
+from repro.experiments import run_fig_resilience
+
+
+def test_resilience_driver_mini_grid():
+    panels = run_fig_resilience(
+        fault_rates=(0.0, 40.0), trials=1, schedulers=("rr", "eft"),
+    )
+    assert set(panels) == {"resilience_exec", "resilience_goodput"}
+    for panel in panels.values():
+        assert {s.label for s in panel.series} == {"RR", "EFT"}
+        for s in panel.series:
+            assert s.xs == (0.0, 40.0)
+            assert len(s.ys) == 2
+    goodput = panels["resilience_goodput"]
+    for s in goodput.series:
+        assert s.ys[0] == 1.0          # no faults -> every app completes
+        assert 0.0 <= s.ys[1] <= 1.0
+    exec_panel = panels["resilience_exec"]
+    for s in exec_panel.series:
+        assert s.ys[0] > 0
+
+
+def test_resilience_driver_pinned_fault_seed_reproduces():
+    a = run_fig_resilience(fault_rates=(30.0,), trials=1,
+                           schedulers=("rr",), fault_seed=5)
+    b = run_fig_resilience(fault_rates=(30.0,), trials=1,
+                           schedulers=("rr",), fault_seed=5)
+    assert a["resilience_exec"].as_dict() == b["resilience_exec"].as_dict()
+    assert a["resilience_goodput"].as_dict() == b["resilience_goodput"].as_dict()

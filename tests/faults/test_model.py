@@ -1,0 +1,137 @@
+"""Fault-model unit tests: config validation, streams, schedules."""
+
+import pytest
+
+from repro.faults import (
+    DEFAULT_FAULT_KINDS,
+    FaultConfig,
+    FaultKind,
+    FaultSpec,
+    fault_stream,
+    preview_schedule,
+)
+
+PES = ("cpu0", "cpu1", "cpu2", "fft0")
+
+
+def take(stream, n):
+    return [next(stream) for _ in range(n)]
+
+
+# -- FaultConfig validation ---------------------------------------------- #
+
+def test_default_config_is_inactive():
+    cfg = FaultConfig()
+    assert not cfg.active
+    assert cfg.kinds == DEFAULT_FAULT_KINDS
+
+
+def test_rate_or_script_activates():
+    assert FaultConfig(rate=1.0).active
+    spec = FaultSpec(at=0.1, pe="cpu0", kind=FaultKind.TRANSIENT)
+    assert FaultConfig(script=(spec,)).active
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"rate": -1.0},
+    {"kinds": ()},
+    {"max_retries": -1},
+    {"retry_backoff_s": -1e-4},
+    {"hang_s": 0.0},
+    {"slowdown_s": 0.0},
+    {"slowdown_factor": 0.5},
+    {"watchdog_factor": 0.0},
+    {"watchdog_grace_s": -1.0},
+])
+def test_config_validation_errors(kwargs):
+    with pytest.raises(ValueError):
+        FaultConfig(**kwargs)
+
+
+def test_fault_spec_rejects_negative_time():
+    with pytest.raises(ValueError):
+        FaultSpec(at=-0.1, pe="cpu0", kind=FaultKind.HANG)
+
+
+# -- retry backoff -------------------------------------------------------- #
+
+def test_backoff_is_capped_exponential():
+    cfg = FaultConfig(retry_backoff_s=1e-4, retry_backoff_cap_s=5e-3)
+    assert cfg.backoff(1) == pytest.approx(1e-4)
+    assert cfg.backoff(2) == pytest.approx(2e-4)
+    assert cfg.backoff(3) == pytest.approx(4e-4)
+    assert cfg.backoff(20) == pytest.approx(5e-3)  # capped
+
+
+def test_backoff_attempts_are_one_based():
+    with pytest.raises(ValueError):
+        FaultConfig().backoff(0)
+
+
+# -- kind parsing --------------------------------------------------------- #
+
+def test_parse_kinds_roundtrip():
+    kinds = FaultConfig.parse_kinds("transient, hang,failstop,slowdown")
+    assert kinds == (FaultKind.TRANSIENT, FaultKind.HANG,
+                     FaultKind.FAILSTOP, FaultKind.SLOWDOWN)
+
+
+def test_parse_kinds_rejects_unknown_and_empty():
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        FaultConfig.parse_kinds("transient,meltdown")
+    with pytest.raises(ValueError, match="empty"):
+        FaultConfig.parse_kinds(" , ")
+
+
+# -- streams + schedules -------------------------------------------------- #
+
+def test_fault_stream_is_deterministic():
+    cfg = FaultConfig(rate=100.0, seed=7)
+    a = take(fault_stream("cpu0", cfg, engine_seed=0), 50)
+    b = take(fault_stream("cpu0", cfg, engine_seed=0), 50)
+    assert a == b
+    times = [t for t, _ in a]
+    assert times == sorted(times)
+    assert all(t > 0 for t in times)
+
+
+def test_fault_stream_defers_to_engine_seed():
+    cfg = FaultConfig(rate=100.0, seed=None)
+    pinned = FaultConfig(rate=100.0, seed=42)
+    assert take(fault_stream("cpu0", cfg, engine_seed=42), 20) == \
+        take(fault_stream("cpu0", pinned, engine_seed=0), 20)
+    # different engine seeds give different timelines
+    assert take(fault_stream("cpu0", cfg, engine_seed=1), 20) != \
+        take(fault_stream("cpu0", cfg, engine_seed=2), 20)
+
+
+def test_fault_stream_rate_zero_is_empty():
+    assert list(fault_stream("cpu0", FaultConfig(rate=0.0), 0)) == []
+
+
+def test_per_pe_streams_are_independent():
+    """Adding a PE must not reshuffle the faults of existing PEs."""
+    cfg = FaultConfig(rate=50.0, seed=3)
+    small = preview_schedule(("cpu0", "cpu1"), cfg, horizon=1.0)
+    big = preview_schedule(("cpu0", "cpu1", "fft0"), cfg, horizon=1.0)
+    per_pe = lambda evs, pe: [e for e in evs if e.pe == pe]  # noqa: E731
+    assert per_pe(small, "cpu0") == per_pe(big, "cpu0")
+    assert per_pe(small, "cpu1") == per_pe(big, "cpu1")
+
+
+def test_preview_schedule_sorted_and_pure():
+    cfg = FaultConfig(rate=30.0, seed=5,
+                      script=(FaultSpec(at=0.02, pe="fft0", kind=FaultKind.FAILSTOP),))
+    a = preview_schedule(PES, cfg, horizon=0.5)
+    b = preview_schedule(PES, cfg, horizon=0.5)
+    assert a == b
+    assert [e.at for e in a] == sorted(e.at for e in a)
+    assert any(e.kind is FaultKind.FAILSTOP and e.pe == "fft0" for e in a)
+
+
+def test_preview_respects_horizon_and_kinds():
+    cfg = FaultConfig(rate=200.0, seed=1, kinds=(FaultKind.TRANSIENT,))
+    events = preview_schedule(("cpu0",), cfg, horizon=0.1)
+    assert events
+    assert all(e.at <= 0.1 for e in events)
+    assert all(e.kind is FaultKind.TRANSIENT for e in events)

@@ -1,6 +1,5 @@
 """ASCII Gantt renderer tests."""
 
-import numpy as np
 import pytest
 
 from repro.apps import PulseDoppler, WifiTx

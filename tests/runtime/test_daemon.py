@@ -11,7 +11,6 @@ from repro.runtime import (
     AppInstance,
     CedrRuntime,
     RuntimeConfig,
-    TaskState,
 )
 from repro.sched import PAPER_SCHEDULERS
 

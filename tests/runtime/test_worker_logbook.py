@@ -5,7 +5,7 @@ import pytest
 
 from repro.platforms import PEKind, zcu102
 from repro.runtime import API_MODE, AppInstance, CedrRuntime, RuntimeConfig
-from repro.runtime.logbook import AppRecord, Logbook, TaskRecord
+from repro.runtime.logbook import AppRecord
 from repro.runtime.perf_counters import PerfCounters
 
 

@@ -8,7 +8,6 @@ from hypothesis import strategies as st
 from repro.apps import PulseDoppler, WifiTx
 from repro.workload import (
     WorkloadEntry,
-    WorkloadSpec,
     autonomous_vehicle_workload,
     paper_injection_rates,
     periodic_arrivals,
