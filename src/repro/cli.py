@@ -8,12 +8,15 @@ reproduction's equivalent front end::
     python -m repro run --platform zcu102 --fft 2 --apps PD:3,TX:3 \\
         --mode api --scheduler heft_rt --rate 200
     python -m repro run --platform jetson --apps LD:1,PD:2 --trace out.json
+    python -m repro run --apps PD:2 --metrics-out out/metrics --metrics-interval 0.01
     python -m repro figure fig5
     python -m repro figure fig10a --trials 2
+    python -m repro telemetry
 
 ``run`` prints the paper's three metrics for the run (plus optional energy
 and a Chrome trace dump); ``figure`` prints the regenerated series tables
-of the requested evaluation figure.
+of the requested evaluation figure; ``telemetry`` prints the metric
+catalog the telemetry subsystem exports (names, types, bucket ladders).
 """
 
 from __future__ import annotations
@@ -98,6 +101,20 @@ def build_parser() -> argparse.ArgumentParser:
                           "(transient,hang,failstop,slowdown)")
     run.add_argument("--max-retries", type=int, default=3,
                      help="per-task retry budget before the app is failed")
+    run.add_argument("--metrics-out", metavar="BASE", default=None,
+                     help="enable telemetry and write BASE.json + BASE.prom "
+                          "(Prometheus exposition format) at shutdown")
+    run.add_argument("--metrics-interval", type=float, default=0.0,
+                     help="periodic telemetry snapshot interval, simulated "
+                          "seconds (0 = final snapshot only; implies "
+                          "telemetry collection even without --metrics-out)")
+
+    tel = sub.add_parser(
+        "telemetry",
+        help="print the telemetry metric catalog (names, types, buckets)",
+    )
+    tel.add_argument("--json", action="store_true",
+                     help="emit the catalog as JSON instead of a table")
 
     fig = sub.add_parser("figure", help="regenerate one evaluation figure")
     fig.add_argument("id", choices=FIGURE_IDS)
@@ -174,12 +191,21 @@ def _cmd_run(args) -> int:
             )
         except ValueError as exc:
             raise SystemExit(str(exc)) from None
+    telemetry_cfg = None
+    if args.metrics_out or args.metrics_interval > 0.0:
+        from repro.telemetry import TelemetryConfig
+
+        try:
+            telemetry_cfg = TelemetryConfig(sample_interval_s=args.metrics_interval)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
     runtime = CedrRuntime(
         platform,
         RuntimeConfig(
             scheduler=args.scheduler,
             execute_kernels=not args.timing_only,
             faults=faults,
+            telemetry=telemetry_cfg,
         ),
     )
     runtime.start()
@@ -208,6 +234,11 @@ def _cmd_run(args) -> int:
               f"{result.tasks_lost} tasks lost, {result.n_failed} apps failed "
               f"(goodput {result.goodput:.2f}, MTTR "
               f"{result.mean_time_to_recovery * 1e3:.2f} ms)")
+    if args.metrics_out:
+        from repro.telemetry import write_metrics
+
+        json_path, prom_path = write_metrics(args.metrics_out, runtime.telemetry)
+        print(f"metrics   : wrote {json_path} and {prom_path}")
     if args.perf_json:
         import json
 
@@ -233,6 +264,37 @@ def _cmd_run(args) -> int:
 
         print()
         print(render_gantt(runtime))
+    return 0
+
+
+def _cmd_telemetry(args) -> int:
+    """Print the metric catalog the telemetry subsystem exports."""
+    from repro.telemetry import CedrTelemetry, TelemetryConfig
+
+    telemetry = CedrTelemetry(TelemetryConfig(), pe_names=())
+    families = telemetry.registry.families()
+    if args.json:
+        import json
+
+        catalog = [
+            {
+                "name": fam.name,
+                "type": fam.kind,
+                "labels": list(fam.label_names),
+                "help": fam.help,
+                **({"buckets": list(fam.bounds)} if fam.bounds is not None else {}),
+            }
+            for fam in families
+        ]
+        print(json.dumps(catalog, indent=2))
+        return 0
+    width = max(len(fam.name) for fam in families)
+    for fam in families:
+        labels = "{%s}" % ",".join(fam.label_names) if fam.label_names else ""
+        print(f"{fam.name:<{width}}  {fam.kind:<9}  {labels:<11}  {fam.help}")
+        if fam.bounds is not None:
+            bounds = ", ".join(f"{b:g}" for b in fam.bounds)
+            print(f"{'':<{width}}  {'':<9}  {'':<11}  buckets: {bounds}, +Inf")
     return 0
 
 
@@ -297,6 +359,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_list()
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "telemetry":
+        return _cmd_telemetry(args)
     if args.command == "figure":
         return _cmd_figure(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

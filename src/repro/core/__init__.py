@@ -1,23 +1,31 @@
 """CEDR-API: the paper's contribution - the API-based programming model.
 
 ``CedrClient`` is the runtime-linked libCEDR (blocking + non-blocking
-APIs), ``StandaloneCedr`` the static CPU library for functional bring-up,
-``CedrRequest``/``wait_all`` the non-blocking synchronization surface, and
-``ModuleSet`` the per-platform accelerator module configuration.
+APIs, generated from the :mod:`repro.core.spec` table), ``StandaloneCedr``
+the static CPU library for functional bring-up, ``Request`` /
+``CedrRequest`` / ``wait_all`` / ``wait_any`` the non-blocking
+synchronization surface, and ``ModuleSet`` the per-platform accelerator
+module configuration.
 """
 
 from .api import CedrClient
-from .handles import CedrRequest, ImmediateRequest, wait_all
+from .handles import CedrRequest, ImmediateRequest, Request, wait_all, wait_any
 from .modules import STANDARD_MODULES, Module, ModuleSet, build_api_map
+from .spec import API_SPECS, ApiSpec, payload_bytes
 from .standalone import StandaloneCedr, run_standalone
 
 __all__ = [
     "CedrClient",
     "StandaloneCedr",
     "run_standalone",
+    "Request",
     "CedrRequest",
     "ImmediateRequest",
     "wait_all",
+    "wait_any",
+    "ApiSpec",
+    "API_SPECS",
+    "payload_bytes",
     "Module",
     "ModuleSet",
     "STANDARD_MODULES",

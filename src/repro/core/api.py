@@ -15,6 +15,22 @@ the Fig. 5 reduction), and rings the daemon's doorbell.  The blocking form
 then sleeps on the condition variable until the executing worker signals
 completion; the non-blocking form returns a :class:`CedrRequest`.
 
+The per-API method pairs (``fft``/``fft_nb``, ``zip``/``zip_nb``, ...) are
+**generated** from the declarative spec table in :mod:`repro.core.spec`
+rather than hand-written: one :class:`~repro.core.spec.ApiSpec` row per
+kernel declares the parameter builder, payload builder, and marshalled-byte
+model, and :func:`~repro.core.spec.install_api_methods` stamps out both
+variants with the public signatures of old.  Adding a kernel API is now one
+table row - the blocking variant, the ``_nb`` variant, standalone-mode
+parity, and telemetry instrumentation all follow.
+
+With telemetry enabled on the runtime
+(:class:`~repro.telemetry.TelemetryConfig`), every call is instrumented for
+free: per-API/mode call counters and latency histograms
+(``cedr_api_call_latency_seconds``: submission to completion, for blocking
+*and* non-blocking calls) plus the in-flight request gauge
+(``cedr_api_inflight_requests``).
+
 The same application source also runs against
 :class:`~repro.core.standalone.StandaloneCedr` ("treating libCEDR like any
 other CPU-based library"), which is how users validate functional
@@ -25,12 +41,11 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Generator
 
-import numpy as np
-
 from repro.runtime.task import CompletionHandle, Task
 from repro.simcore import Compute, Request
 
 from .handles import CedrRequest
+from .spec import ApiSpec, install_api_methods, payload_bytes
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.app import AppInstance
@@ -39,12 +54,46 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["CedrClient"]
 
 
+def _make_blocking(spec: ApiSpec):
+    """Factory for one generated blocking method (``(self, x)`` or
+    ``(self, a, b)``, matching the hand-written signatures exactly)."""
+    if spec.arity == 1:
+        def method(self, x):
+            params, payload = spec.build(x)
+            return self._call_blocking(spec.name, params, payload)
+    else:
+        def method(self, a, b):
+            params, payload = spec.build(a, b)
+            return self._call_blocking(spec.name, params, payload)
+    method.__doc__ = f"{spec.doc}; blocks until complete."
+    return method
+
+
+def _make_nonblocking(spec: ApiSpec):
+    """Factory for one generated ``_nb`` method returning a request handle."""
+    if spec.arity == 1:
+        def method(self, x):
+            params, payload = spec.build(x)
+            return self._call_nb(spec.name, params, payload)
+    else:
+        def method(self, a, b):
+            params, payload = spec.build(a, b)
+            return self._call_nb(spec.name, params, payload)
+    method.__doc__ = f"Non-blocking {spec.doc[0].lower()}{spec.doc[1:]}; returns a :class:`CedrRequest`."
+    return method
+
+
 class CedrClient:
     """Per-application libCEDR handle bound to a running CEDR runtime.
 
     One instance exists per application thread; it is not shared across
     applications (each keeps its own call counter and bookkeeping), exactly
     like the per-process linkage of the real library.
+
+    The kernel API methods (``fft``, ``ifft``, ``zip``, ``gemm`` and their
+    ``_nb`` twins) are installed by :func:`~repro.core.spec.
+    install_api_methods` right after the class body - see the module
+    docstring.
     """
 
     #: True when kernels actually execute; timing-only sweeps set the
@@ -80,7 +129,7 @@ class CedrClient:
         self._calls += 1
         name = f"{api}#{self._calls}"
         yield Compute(costs.api_call_us * 1e-6 * scale)  # alloc + cond/mutex init
-        copy_cost = self._payload_bytes(api, params) * costs.api_copy_ns_per_byte * 1e-9
+        copy_cost = payload_bytes(api, params) * costs.api_copy_ns_per_byte * 1e-9
         if copy_cost > 0.0:
             yield Compute(copy_cost * scale)  # stage operand buffers
         handle = CompletionHandle(runtime.engine, label=f"app{self._app.app_id}.{name}")
@@ -102,80 +151,38 @@ class CedrClient:
         return task
 
     def _call_blocking(self, api: str, params: dict, payload: Any):
+        telemetry = self._runtime.telemetry
+        t0 = self._runtime.engine.now
+        if telemetry is not None:
+            telemetry.api_inflight.inc()
         task = yield from self._submit(api, params, payload)
-        return (yield from task.completion.wait())
+        try:
+            result = yield from task.completion.wait()
+        finally:
+            if telemetry is not None:
+                telemetry.api_inflight.dec()
+                telemetry.record_api_call(
+                    api, "blocking", self._runtime.engine.now - t0
+                )
+        return result
 
     def _call_nb(self, api: str, params: dict, payload: Any):
+        telemetry = self._runtime.telemetry
+        t0 = self._runtime.engine.now
         task = yield from self._submit(api, params, payload)
+        if telemetry is not None:
+            telemetry.api_inflight.inc()
+            engine = self._runtime.engine
+
+            def _settled() -> None:
+                # fires on the worker/daemon thread the instant the handle
+                # settles - latency covers submission to completion even if
+                # the application never waits on the request
+                telemetry.api_inflight.dec()
+                telemetry.record_api_call(api, "nonblocking", engine.now - t0)
+
+            task.completion.add_watcher(_settled)
         return CedrRequest(task)
-
-    @staticmethod
-    def _fft_params(x: Any) -> dict:
-        x = np.asarray(x)
-        n = x.shape[-1]
-        batch = int(np.prod(x.shape[:-1])) if x.ndim > 1 else 1
-        return {"n": int(n), "batch": batch}
-
-    @staticmethod
-    def _payload_bytes(api: str, params: dict) -> float:
-        """Operand bytes a call marshals (complex128 elements)."""
-        if api in ("fft", "ifft"):
-            return 16.0 * params["n"] * params.get("batch", 1)
-        if api == "zip":
-            return 2 * 16.0 * params["n"]
-        if api == "gemm":
-            return 16.0 * (
-                params["m"] * params["k"] + params["k"] * params["n"]
-            )
-        return 0.0
-
-    # ------------------------------------------------------------------ #
-    # blocking APIs (cedr.h declarations, Listing 1)
-    # ------------------------------------------------------------------ #
-
-    def fft(self, x):
-        """Forward FFT along the last axis; blocks until complete."""
-        return self._call_blocking("fft", self._fft_params(x), x)
-
-    def ifft(self, x):
-        """Inverse FFT along the last axis; blocks until complete."""
-        return self._call_blocking("ifft", self._fft_params(x), x)
-
-    def zip(self, a, b):
-        """Element-wise product; blocks until complete."""
-        a = np.asarray(a)
-        return self._call_blocking("zip", {"n": int(a.size)}, (a, b))
-
-    def gemm(self, a, b):
-        """Matrix multiply; blocks until complete."""
-        a = np.asarray(a)
-        b = np.asarray(b)
-        params = {"m": a.shape[0], "k": a.shape[1], "n": b.shape[1]}
-        return self._call_blocking("gemm", params, (a, b))
-
-    # ------------------------------------------------------------------ #
-    # non-blocking APIs
-    # ------------------------------------------------------------------ #
-
-    def fft_nb(self, x):
-        """Non-blocking forward FFT; returns a :class:`CedrRequest`."""
-        return self._call_nb("fft", self._fft_params(x), x)
-
-    def ifft_nb(self, x):
-        """Non-blocking inverse FFT; returns a :class:`CedrRequest`."""
-        return self._call_nb("ifft", self._fft_params(x), x)
-
-    def zip_nb(self, a, b):
-        """Non-blocking element-wise product."""
-        a = np.asarray(a)
-        return self._call_nb("zip", {"n": int(a.size)}, (a, b))
-
-    def gemm_nb(self, a, b):
-        """Non-blocking matrix multiply."""
-        a = np.asarray(a)
-        b = np.asarray(b)
-        params = {"m": a.shape[0], "k": a.shape[1], "n": b.shape[1]}
-        return self._call_nb("gemm", params, (a, b))
 
     # ------------------------------------------------------------------ #
     # application-local (non-kernel) work
@@ -192,3 +199,8 @@ class CedrClient:
         if seconds_at_1ghz < 0:
             raise ValueError(f"negative local work: {seconds_at_1ghz}")
         yield Compute(seconds_at_1ghz / self._runtime.platform.timing.cpu_clock_ghz)
+
+
+# blocking + non-blocking kernel APIs, generated from the spec table
+# (cedr.h declarations, Listing 1)
+install_api_methods(CedrClient, _make_blocking, _make_nonblocking)

@@ -9,19 +9,20 @@ keeping the exact generator-based calling convention so the *same
 application source* runs under both this and the runtime-backed
 :class:`~repro.core.api.CedrClient`.  Integration tests diff the outputs of
 the two paths to prove functional equivalence.
+
+Like the runtime client, the per-API method pairs here are generated from
+the declarative table in :mod:`repro.core.spec` - each
+:class:`~repro.core.spec.ApiSpec` row carries its immediate CPU
+implementation, so standalone-mode parity for a new kernel API is the same
+one table row that defines its runtime surface.
 """
 
 from __future__ import annotations
 
 from typing import Any, Generator
 
-import numpy as np
-
-from repro.kernels import fft as fft_mod
-from repro.kernels.mmult import gemm as gemm_kernel
-from repro.kernels.zip_ import zip_product
-
 from .handles import ImmediateRequest
+from .spec import ApiSpec, install_api_methods
 
 __all__ = ["StandaloneCedr"]
 
@@ -34,39 +35,36 @@ def _ret(value: Any) -> Generator:
     return value
 
 
+def _make_blocking(spec: ApiSpec):
+    if spec.arity == 1:
+        def method(self, x):
+            return _ret(spec.standalone(x))
+    else:
+        def method(self, a, b):
+            return _ret(spec.standalone(a, b))
+    method.__doc__ = f"{spec.doc}; executes immediately on the CPU."
+    return method
+
+
+def _make_nonblocking(spec: ApiSpec):
+    if spec.arity == 1:
+        def method(self, x):
+            return _ret(ImmediateRequest(spec.standalone(x), api=spec.name))
+    else:
+        def method(self, a, b):
+            return _ret(ImmediateRequest(spec.standalone(a, b), api=spec.name))
+    method.__doc__ = (
+        f"Non-blocking {spec.doc[0].lower()}{spec.doc[1:]}; already executed - "
+        "returns an :class:`ImmediateRequest`."
+    )
+    return method
+
+
 class StandaloneCedr:
     """Immediate-execution implementation of the libCEDR API surface."""
 
     #: standalone mode always executes real kernels
     executes = True
-
-    # -- blocking ---------------------------------------------------------- #
-
-    def fft(self, x):
-        return _ret(fft_mod.fft(np.asarray(x)))
-
-    def ifft(self, x):
-        return _ret(fft_mod.ifft(np.asarray(x)))
-
-    def zip(self, a, b):
-        return _ret(zip_product(np.asarray(a), np.asarray(b)))
-
-    def gemm(self, a, b):
-        return _ret(gemm_kernel(np.asarray(a), np.asarray(b)))
-
-    # -- non-blocking -------------------------------------------------------- #
-
-    def fft_nb(self, x):
-        return _ret(ImmediateRequest(fft_mod.fft(np.asarray(x)), api="fft"))
-
-    def ifft_nb(self, x):
-        return _ret(ImmediateRequest(fft_mod.ifft(np.asarray(x)), api="ifft"))
-
-    def zip_nb(self, a, b):
-        return _ret(ImmediateRequest(zip_product(np.asarray(a), np.asarray(b)), api="zip"))
-
-    def gemm_nb(self, a, b):
-        return _ret(ImmediateRequest(gemm_kernel(np.asarray(a), np.asarray(b)), api="gemm"))
 
     # -- local work ----------------------------------------------------------- #
 
@@ -75,6 +73,10 @@ class StandaloneCedr:
         if seconds_at_1ghz < 0:
             raise ValueError(f"negative local work: {seconds_at_1ghz}")
         return _ret(None)
+
+
+# blocking + non-blocking kernel APIs, generated from the spec table
+install_api_methods(StandaloneCedr, _make_blocking, _make_nonblocking)
 
 
 def run_standalone(main_factory) -> Any:

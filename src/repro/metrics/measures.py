@@ -14,7 +14,7 @@ Three metrics drive every figure (Section III):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
@@ -51,6 +51,12 @@ class RunResult:
     #: average first-failure -> successful-completion interval (seconds).
     mean_time_to_recovery: float = 0.0
 
+    #: telemetry export (repro.telemetry): ``{"metrics": ..., "samples": ...}``
+    #: when the run collected metrics, ``None`` otherwise.  Carried here so
+    #: process-pool sweeps ship snapshots back to the parent bit-identically
+    #: to the serial path (pinned by the telemetry determinism tests).
+    telemetry: Optional[dict] = None
+
     @classmethod
     def from_runtime(cls, runtime: "CedrRuntime") -> "RunResult":
         finished = [a for a in runtime.apps.values() if a.finished]
@@ -85,6 +91,11 @@ class RunResult:
             retries=counters.retries,
             tasks_lost=counters.tasks_lost,
             mean_time_to_recovery=counters.mean_time_to_recovery,
+            telemetry=(
+                runtime.telemetry.export_state()
+                if runtime.telemetry is not None
+                else None
+            ),
         )
 
     # -- the paper's normalized metrics ------------------------------------ #

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.faults.model import FaultConfig
+from repro.telemetry import TelemetryConfig
 
 __all__ = ["RuntimeCosts", "RuntimeConfig"]
 
@@ -100,6 +101,17 @@ class RuntimeConfig:
     #: runtime on the exact pre-fault code paths: no injector, no watchdog
     #: timers, no extra events, bit-identical behaviour.
     faults: Optional[FaultConfig] = None
+    #: telemetry registry configuration (repro.telemetry).  ``None`` (or
+    #: ``enabled=False``) keeps every hot path on a single ``is None`` test
+    #: and schedules no sampler timers - runs without telemetry are
+    #: byte-identical to the pre-telemetry runtime.
+    telemetry: Optional[TelemetryConfig] = None
+
+    def with_telemetry(self, sample_interval_s: float = 0.0) -> "RuntimeConfig":
+        """Copy of this config with telemetry collection switched on."""
+        return replace(
+            self, telemetry=TelemetryConfig(sample_interval_s=sample_interval_s)
+        )
 
     def with_scheduler(self, name: str) -> "RuntimeConfig":
         return replace(self, scheduler=name)

@@ -60,6 +60,7 @@ from repro.sched import Scheduler, make_scheduler
 from repro.sched.heft_rt import upward_ranks
 from repro.simcore import Block, Compute, Request, SimQueue, SimThread, child_rng
 from repro.simcore.errors import SimStateError
+from repro.telemetry import CedrTelemetry, SnapshotSampler
 
 from .app import DAG_MODE, AppInstance
 from .config import RuntimeConfig
@@ -143,7 +144,21 @@ class CedrRuntime:
         self.apps: dict[int, AppInstance] = {}
         self.mailboxes: dict[int, SimQueue] = {}
         self.inflight: dict[int, int] = {}
-        self.counters = PerfCounters(enabled=config.enable_perf_counters)
+        #: metric registry + instrumentation handles; ``None`` whenever the
+        #: config carries no enabled telemetry (the byte-identical fast path).
+        self.telemetry: Optional[CedrTelemetry] = (
+            CedrTelemetry(config.telemetry, [pe.name for pe in platform.pes])
+            if config.telemetry is not None and config.telemetry.enabled
+            else None
+        )
+        self._sampler: Optional[SnapshotSampler] = (
+            SnapshotSampler(self.engine, self.telemetry, config.telemetry.sample_interval_s)
+            if self.telemetry is not None and config.telemetry.sample_interval_s > 0
+            else None
+        )
+        self.counters = PerfCounters(
+            enabled=config.enable_perf_counters, telemetry=self.telemetry
+        )
         self.logbook = Logbook(enabled=config.log_tasks)
         self.metrics = RunMetrics()
         self.noise_rng = (
@@ -192,6 +207,8 @@ class CedrRuntime:
             self.engine.spawn(worker_body(self, pe), name=f"worker-{pe.name}", affinity=affinity)
         if self.faults is not None:
             self.faults.arm()
+        if self._sampler is not None:
+            self._sampler.arm()
 
     def submit(self, app: AppInstance, at: float) -> None:
         """Schedule *app* to arrive over IPC at simulated time ``at``."""
@@ -381,9 +398,15 @@ class CedrRuntime:
             # one-timer-ahead chain keeps the engine's timer heap populated
             # forever and the simulation never terminates.
             self.faults.disarm()
+        if self._sampler is not None:
+            # same one-timer-ahead chain, same termination requirement
+            self._sampler.disarm()
         self._shutdown_workers()
         self.metrics.makespan = self.engine.now
         self.metrics.apps_completed = self._completed
+        if self.telemetry is not None:
+            # end-of-run snapshot: always present, even with sampling off
+            self.telemetry.sample(self.engine.now)
         # Idle-poll accounting: the main loop spins whenever it is not doing
         # bookkeeping or scheduling.  The runtime core is reserved, so this
         # changes no thread's timing - only the overhead measurement - and
@@ -485,6 +508,8 @@ class CedrRuntime:
         app.t_finish = self.engine.now
         self.logbook.close_app(app.app_id, self.engine.now)
         self.counters.apps_completed += 1
+        if self.telemetry is not None:
+            self.telemetry.record_app_completed()
         self._completed += 1
 
     def _schedule_round(self) -> Generator[Request, Any, None]:
@@ -497,6 +522,8 @@ class CedrRuntime:
         cost = self.scheduler.round_cost(len(batch), len(pes))
         self.metrics.sched_overhead_s += cost
         self.counters.record_round(len(batch))
+        if self.telemetry is not None:
+            self.telemetry.record_round(self.engine.now, len(batch), cost)
         if cost > 0.0:
             yield Compute(cost)
         # Rebuild each PE's expected-free instant from its outstanding
@@ -508,9 +535,13 @@ class CedrRuntime:
         for pe in pes:
             pe.expected_free = now + pe.outstanding_est * pe.slowdown
         assignments = self.scheduler.schedule(batch, pes, now, self._estimate)
+        telemetry = self.telemetry
         for task, pe in assignments:
             task.state = TaskState.SCHEDULED
             task.t_scheduled = self.engine.now
+            if telemetry is not None:
+                # doorbell-to-dispatch: ready-queue entry to PE assignment
+                telemetry.record_sched_latency(task.t_scheduled - task.t_release)
             task.est_used = self._estimate(task, pe)
             pe.outstanding_est += task.est_used
             if self.faults is None:

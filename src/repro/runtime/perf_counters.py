@@ -5,11 +5,21 @@ worker.  Real hardware counters have no meaning inside a behavioural
 simulator, so this module provides the software-visible equivalents the
 evaluation actually consumes: per-PE task/busy tallies, per-API histograms,
 ready-queue depth high-water marks, and scheduling-round statistics.
+
+When the runtime carries a :class:`~repro.telemetry.CedrTelemetry` instance
+it is attached here as ``telemetry``, and every fault/retry/recovery
+``record_*`` call is *bridged* into the metric registry alongside the plain
+tallies - the fault layer needs no knowledge of the registry, and the
+bridge fires even when the legacy counters themselves are disabled.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.telemetry import CedrTelemetry
 
 __all__ = ["PECounters", "PerfCounters"]
 
@@ -69,6 +79,10 @@ class PerfCounters:
     recoveries: int = 0
     recovery_time_sum: float = 0.0
 
+    #: optional metric-registry bridge (repro.telemetry); fault/recovery
+    #: records are mirrored into it regardless of ``enabled``.
+    telemetry: Optional["CedrTelemetry"] = None
+
     def record_task(self, pe_name: str, api: str, service_time: float) -> None:
         if not self.enabled:
             return
@@ -90,39 +104,55 @@ class PerfCounters:
         self.engine_events = engine_events
 
     def record_fault(self, kind: str) -> None:
+        if self.telemetry is not None:
+            self.telemetry.faults_injected.labels(kind).inc()
         if not self.enabled:
             return
         self.faults_injected += 1
         self.faults_by_kind[kind] = self.faults_by_kind.get(kind, 0) + 1
 
     def record_task_failure(self, kind: str) -> None:
+        if self.telemetry is not None:
+            self.telemetry.task_failures.labels(kind).inc()
         if not self.enabled:
             return
         self.task_failures += 1
         self.failures_by_kind[kind] = self.failures_by_kind.get(kind, 0) + 1
 
     def record_retry(self) -> None:
+        if self.telemetry is not None:
+            self.telemetry.task_retries.inc()
         if self.enabled:
             self.retries += 1
 
     def record_task_lost(self) -> None:
+        if self.telemetry is not None:
+            self.telemetry.tasks_lost.inc()
         if self.enabled:
             self.tasks_lost += 1
 
     def record_stale_dispatch(self) -> None:
+        if self.telemetry is not None:
+            self.telemetry.stale_dispatches.inc()
         if self.enabled:
             self.stale_dispatches += 1
 
     def record_quarantine(self) -> None:
+        if self.telemetry is not None:
+            self.telemetry.pe_quarantines.inc()
         if self.enabled:
             self.pe_quarantines += 1
 
     def record_revival(self) -> None:
+        if self.telemetry is not None:
+            self.telemetry.pe_revivals.inc()
         if self.enabled:
             self.pe_revivals += 1
 
     def record_recovery(self, seconds: float) -> None:
         """One task recovered: first failure to successful completion."""
+        if self.telemetry is not None:
+            self.telemetry.task_recovery.observe(seconds)
         if not self.enabled:
             return
         self.recoveries += 1

@@ -56,6 +56,28 @@ class CompletionHandle:
         #: lost (retry budget exhausted); :meth:`wait` re-raises it on the
         #: application thread.
         self.error: Optional[BaseException] = None
+        #: settle callbacks (plain callables, no simulated cost) fired once
+        #: when the handle completes or fails - the hook behind
+        #: :func:`repro.core.handles.wait_any` and the client's
+        #: non-blocking-call latency telemetry.
+        self._watchers: list[Callable[[], None]] = []
+
+    def add_watcher(self, callback: Callable[[], None]) -> None:
+        """Invoke *callback* once when the handle settles (now if it has).
+
+        Watchers run synchronously inside :meth:`complete`/:meth:`fail` on
+        the settling thread; they must be plain state mutation (wake a
+        blocked thread, bump a counter) and never block.
+        """
+        if self.done:
+            callback()
+        else:
+            self._watchers.append(callback)
+
+    def _fire_watchers(self) -> None:
+        watchers, self._watchers = self._watchers, []
+        for callback in watchers:
+            callback()
 
     def wait(self) -> Generator[Request, Any, Any]:
         """Block until :meth:`complete` or :meth:`fail` fires.
@@ -80,6 +102,7 @@ class CompletionHandle:
         self.result = result
         self.cond.notify_all()
         self.mutex.release()
+        self._fire_watchers()
 
     def fail(self, error: BaseException) -> Generator[Request, Any, None]:
         """Daemon-side: settle the handle with *error* and wake the waiter."""
@@ -88,6 +111,7 @@ class CompletionHandle:
         self.error = error
         self.cond.notify_all()
         self.mutex.release()
+        self._fire_watchers()
 
 
 @dataclass

@@ -119,6 +119,21 @@ def to_chrome_trace(runtime: "CedrRuntime") -> dict[str, Any]:
             "ts": _us(t), "args": {"depth": depth},
         })
 
+    # -- scheduler-decision counter track (repro.telemetry) ------------- #
+    # With telemetry active the daemon logs every scheduling round's batch
+    # size and heuristic decision cost; rendered as a counter track next to
+    # the ready-queue depth so Perfetto shows decision cost growing with
+    # queue pressure (the paper's Fig. 7 mechanism, visually).
+    if runtime.telemetry is not None:
+        decisions = 0
+        for t, batch, cost in runtime.telemetry.round_log:
+            decisions += batch
+            events.append({
+                "ph": "C", "name": "sched decisions", "pid": RUNTIME_PID, "tid": 0,
+                "ts": _us(t),
+                "args": {"decided": decisions, "decision_cost_us": _us(cost)},
+            })
+
     # -- fault injections + retry re-dispatches (instant events) -------- #
     if runtime.faults is not None:
         for fault in runtime.faults.records:

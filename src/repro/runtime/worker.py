@@ -203,6 +203,8 @@ def worker_body(runtime: "CedrRuntime", pe: "PE") -> Generator[Request, Any, Non
             observed = task.service_time / task.est_used
             pe.slowdown += 0.1 * (observed - pe.slowdown)
         runtime.counters.record_task(pe.name, task.api, task.service_time)
+        if runtime.telemetry is not None:
+            runtime.telemetry.record_task(pe.name, task.service_time)
         runtime.logbook.record_task(task)
 
         if task.completion is not None:

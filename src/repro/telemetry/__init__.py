@@ -1,0 +1,44 @@
+"""repro.telemetry: deterministic runtime metrics for the CEDR reproduction.
+
+A central registry of counters, gauges, and fixed-bucket histograms,
+instrumented across the daemon, workers, libCEDR client, and the fault
+layer; periodic snapshots driven by simulator timers; Prometheus-text and
+JSON exporters.  See docs/INTERNALS.md ("Telemetry") for metric names,
+bucket ladders, and the determinism contract.
+"""
+
+from .exporters import (
+    to_json_dict,
+    to_prometheus_text,
+    write_json,
+    write_metrics,
+    write_prometheus,
+)
+from .registry import Counter, Gauge, Histogram, MetricFamily, MetricRegistry
+from .runtime_metrics import (
+    DEPTH_BUCKETS,
+    LATENCY_BUCKETS,
+    RECOVERY_BUCKETS,
+    CedrTelemetry,
+    TelemetryConfig,
+)
+from .sampler import SnapshotSampler
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricRegistry",
+    "CedrTelemetry",
+    "TelemetryConfig",
+    "SnapshotSampler",
+    "LATENCY_BUCKETS",
+    "DEPTH_BUCKETS",
+    "RECOVERY_BUCKETS",
+    "to_prometheus_text",
+    "to_json_dict",
+    "write_prometheus",
+    "write_json",
+    "write_metrics",
+]

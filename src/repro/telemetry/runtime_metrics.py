@@ -1,0 +1,268 @@
+"""The CEDR metric catalog: every series the runtime exports, in one place.
+
+:class:`CedrTelemetry` owns the :class:`~repro.telemetry.registry.
+MetricRegistry` for one :class:`~repro.runtime.daemon.CedrRuntime` and
+pre-registers the full metric set at construction, so the catalog (names,
+types, bucket ladders) is identical for every run - a zero-task run and a
+saturated sweep export the same families, just with different values.
+
+Instrumentation points (who writes what):
+
+=====================  ==================================================
+daemon                 ``cedr_ready_queue_depth``, ``cedr_sched_rounds``,
+                       ``cedr_sched_decision_seconds``,
+                       ``cedr_sched_batch_tasks``,
+                       ``cedr_sched_latency_seconds`` (doorbell to
+                       dispatch, per task), ``cedr_apps_completed``
+workers                ``cedr_pe_dispatch_total``,
+                       ``cedr_pe_busy_seconds_total``,
+                       ``cedr_tasks_completed``
+libCEDR client         ``cedr_api_calls_total``,
+                       ``cedr_api_call_latency_seconds`` (blocking and
+                       non-blocking), ``cedr_api_inflight_requests``
+fault layer (bridged   ``cedr_faults_injected_total``,
+via PerfCounters)      ``cedr_task_failures_total``, ``cedr_task_
+                       retries_total``, ``cedr_tasks_lost_total``,
+                       ``cedr_pe_quarantines_total``,
+                       ``cedr_pe_revivals_total``,
+                       ``cedr_task_recovery_seconds``
+sampler                ``cedr_pe_utilization`` (derived at snapshot time)
+=====================  ==================================================
+
+All recording is plain state mutation - no simulated cost, no events - so
+telemetry never perturbs the run it measures (the determinism contract in
+docs/INTERNALS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from .registry import MetricRegistry
+
+__all__ = ["TelemetryConfig", "CedrTelemetry", "LATENCY_BUCKETS", "DEPTH_BUCKETS", "RECOVERY_BUCKETS"]
+
+#: latency ladder (seconds): 1-2.5-5 steps per decade, 1 us .. 1 s.
+LATENCY_BUCKETS: tuple[float, ...] = (
+    1e-6, 2.5e-6, 5e-6,
+    1e-5, 2.5e-5, 5e-5,
+    1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3,
+    1e-2, 2.5e-2, 5e-2,
+    1e-1, 2.5e-1, 5e-1,
+    1.0,
+)
+
+#: ready-batch / queue-depth ladder (tasks per scheduling round).
+DEPTH_BUCKETS: tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+#: first-failure -> successful-completion ladder (seconds).
+RECOVERY_BUCKETS: tuple[float, ...] = (1e-3, 5e-3, 1e-2, 5e-2, 1e-1, 5e-1, 1.0, 5.0, 10.0)
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """Per-run telemetry knobs (attach to ``RuntimeConfig.telemetry``).
+
+    ``sample_interval_s > 0`` arms the periodic snapshot sampler: a
+    simulator timer fires every interval and appends a flattened snapshot
+    to :attr:`CedrTelemetry.samples`.  Snapshots are driven purely by the
+    virtual clock, so they are bit-identical between serial and process-
+    pool (``--jobs``) sweeps.  ``0`` disables sampling; the shutdown-time
+    final sample is always taken.
+    """
+
+    enabled: bool = True
+    sample_interval_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.sample_interval_s < 0:
+            raise ValueError(
+                f"sample_interval_s must be >= 0, got {self.sample_interval_s}"
+            )
+
+
+class CedrTelemetry:
+    """Registry plus pre-bound metric handles for one runtime instance."""
+
+    def __init__(self, config: TelemetryConfig, pe_names: Sequence[str] = ()) -> None:
+        self.config = config
+        self.registry = r = MetricRegistry()
+        #: flattened periodic snapshots, ``{"t": sim_seconds, "values": {...}}``.
+        self.samples: list[dict[str, Any]] = []
+        #: (time, batch size, decision seconds) per scheduling round; the
+        #: Chrome-trace exporter renders these as counter events.
+        self.round_log: list[tuple[float, int, float]] = []
+
+        # -- daemon --------------------------------------------------------- #
+        self.queue_depth = r.gauge(
+            "cedr_ready_queue_depth",
+            "Ready-queue depth observed at the last scheduling round",
+        )
+        self.sched_rounds = r.counter(
+            "cedr_sched_rounds", "Scheduling rounds executed"
+        )
+        self.sched_decision_seconds = r.counter(
+            "cedr_sched_decision_seconds",
+            "Cumulative runtime-core seconds spent inside scheduling heuristics",
+        )
+        self.sched_batch = r.histogram(
+            "cedr_sched_batch_tasks", DEPTH_BUCKETS,
+            "Tasks handed to the heuristic per scheduling round",
+        )
+        self.sched_latency = r.histogram(
+            "cedr_sched_latency_seconds", LATENCY_BUCKETS,
+            "Doorbell-to-dispatch latency: task release to PE assignment",
+        )
+        self.apps_completed = r.counter(
+            "cedr_apps_completed", "Applications terminated (any outcome)"
+        )
+
+        # -- workers -------------------------------------------------------- #
+        self.pe_dispatch = r.counter(
+            "cedr_pe_dispatch_total", "Tasks completed per processing element",
+            labels=("pe",),
+        )
+        self.pe_busy = r.counter(
+            "cedr_pe_busy_seconds_total", "Service seconds accumulated per PE",
+            labels=("pe",),
+        )
+        self.pe_util = r.gauge(
+            "cedr_pe_utilization",
+            "Busy fraction of the run so far (derived at snapshot time)",
+            labels=("pe",),
+        )
+        self.tasks_completed = r.counter(
+            "cedr_tasks_completed", "Tasks completed across all PEs"
+        )
+
+        # -- libCEDR client -------------------------------------------------- #
+        self.api_calls = r.counter(
+            "cedr_api_calls_total", "libCEDR calls issued",
+            labels=("api", "mode"),
+        )
+        self.api_latency = r.histogram(
+            "cedr_api_call_latency_seconds", LATENCY_BUCKETS,
+            "libCEDR call latency, submission to completion",
+            labels=("api", "mode"),
+        )
+        self.api_inflight = r.gauge(
+            "cedr_api_inflight_requests",
+            "libCEDR calls submitted but not yet completed",
+        )
+
+        # -- fault layer (bridged from PerfCounters) ------------------------- #
+        self.faults_injected = r.counter(
+            "cedr_faults_injected_total", "Faults applied by the injector",
+            labels=("kind",),
+        )
+        self.task_failures = r.counter(
+            "cedr_task_failures_total", "Failed task attempts detected",
+            labels=("kind",),
+        )
+        self.task_retries = r.counter(
+            "cedr_task_retries_total", "Retry re-enqueues issued by recovery"
+        )
+        self.tasks_lost = r.counter(
+            "cedr_tasks_lost_total", "Tasks abandoned after the retry budget"
+        )
+        self.stale_dispatches = r.counter(
+            "cedr_stale_dispatches_total", "Invalidated dispatches discarded"
+        )
+        self.pe_quarantines = r.counter(
+            "cedr_pe_quarantines_total", "PE quarantine events"
+        )
+        self.pe_revivals = r.counter(
+            "cedr_pe_revivals_total", "PE revival events"
+        )
+        self.task_recovery = r.histogram(
+            "cedr_task_recovery_seconds", RECOVERY_BUCKETS,
+            "First failure to successful completion, per recovered task",
+        )
+
+        # Pre-touch per-PE children so every PE appears (with zeros) even if
+        # it never executes a task - keeps the export shape run-invariant.
+        self._pe_names = tuple(pe_names)
+        for name in self._pe_names:
+            self.pe_dispatch.labels(name)
+            self.pe_busy.labels(name)
+            self.pe_util.labels(name)
+
+    # ------------------------------------------------------------------ #
+    # instrumentation entry points
+    # ------------------------------------------------------------------ #
+
+    def record_round(self, now: float, batch: int, decision_seconds: float) -> None:
+        """One scheduling round: depth gauge, counters, trace-merge log."""
+        self.queue_depth.set(batch)
+        self.sched_rounds.inc()
+        self.sched_decision_seconds.inc(decision_seconds)
+        self.sched_batch.observe(batch)
+        self.round_log.append((now, batch, decision_seconds))
+
+    def record_sched_latency(self, seconds: float) -> None:
+        """Doorbell-to-dispatch interval for one task assignment."""
+        self.sched_latency.observe(seconds)
+
+    def record_task(self, pe_name: str, service_seconds: float) -> None:
+        """Worker-side completion: per-PE dispatch count and busy seconds."""
+        self.pe_dispatch.labels(pe_name).inc()
+        self.pe_busy.labels(pe_name).inc(service_seconds)
+        self.tasks_completed.inc()
+
+    def record_app_completed(self) -> None:
+        self.apps_completed.inc()
+
+    def record_api_call(self, api: str, mode: str, latency_seconds: float) -> None:
+        """One libCEDR call settled (mode: ``blocking``/``nonblocking``)."""
+        self.api_calls.labels(api, mode).inc()
+        self.api_latency.labels(api, mode).observe(latency_seconds)
+
+    # ------------------------------------------------------------------ #
+    # snapshot sampling
+    # ------------------------------------------------------------------ #
+
+    def _refresh_derived(self, now: float) -> None:
+        if now <= 0.0:
+            return
+        for name in self._pe_names:
+            busy = self.pe_busy.labels(name).value
+            self.pe_util.labels(name).set(busy / now)
+
+    def flat_values(self) -> dict[str, float]:
+        """Scalar view of every series, for compact time-series samples.
+
+        Counters/gauges map to their value; histograms contribute
+        ``<name>_count`` and ``<name>_sum``.  Labelled series append a
+        ``{k=v,...}`` suffix in sorted label order.
+        """
+        out: dict[str, float] = {}
+        for family in self.registry.families():
+            for values, metric in family.series():
+                suffix = (
+                    "{" + ",".join(
+                        f"{k}={v}" for k, v in zip(family.label_names, values)
+                    ) + "}"
+                    if values else ""
+                )
+                if family.kind == "histogram":
+                    out[f"{family.name}_count{suffix}"] = metric.count
+                    out[f"{family.name}_sum{suffix}"] = metric.sum
+                else:
+                    out[f"{family.name}{suffix}"] = metric.value
+        return out
+
+    def sample(self, now: float) -> dict[str, Any]:
+        """Append (and return) one flattened snapshot stamped with sim time."""
+        self._refresh_derived(now)
+        snap = {"t": now, "values": self.flat_values()}
+        self.samples.append(snap)
+        return snap
+
+    def export_state(self) -> dict[str, Any]:
+        """Picklable summary carried by :class:`~repro.metrics.RunResult`."""
+        return {
+            "metrics": self.registry.snapshot(),
+            "samples": list(self.samples),
+        }

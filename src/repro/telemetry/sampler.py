@@ -1,0 +1,63 @@
+"""Periodic metric snapshots driven by simulator timer events.
+
+The sampler is the telemetry analogue of the fault injector's timer chain:
+it keeps exactly one engine timer ahead, captures a flattened snapshot of
+the registry each time the timer fires, and re-arms.  Because ticks live on
+the *virtual* clock, a run's snapshot series is a pure function of the run
+itself - the same on any host, serial or inside a ``--jobs`` process pool.
+
+Like the fault streams, the one-timer-ahead chain would keep the engine's
+timer heap populated forever, so the daemon disarms the sampler at
+shutdown; the already-scheduled final timer fires once as a no-op.  The
+daemon also takes one last sample at shutdown regardless of interval, so
+even ``sample_interval_s=0`` runs export a single end-of-run snapshot.
+
+One caveat, shared with every timer source (fault streams included): a
+timer event makes the engine advance the processor-sharing cores to the
+tick instant, splitting in-progress compute spans there.  The split
+re-associates the floating-point service accumulation, so a *sampled* run
+can drift from an unsampled one in the last ulp of derived times.  Metric
+*recording* never does this (it is pure state mutation, no events); the
+determinism tests pin both properties.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simcore import Engine
+
+    from .runtime_metrics import CedrTelemetry
+
+__all__ = ["SnapshotSampler"]
+
+
+class SnapshotSampler:
+    """Arms a repeating engine timer that snapshots one telemetry registry."""
+
+    def __init__(self, engine: "Engine", telemetry: "CedrTelemetry", interval_s: float) -> None:
+        if interval_s <= 0:
+            raise ValueError(f"sampler interval must be > 0, got {interval_s}")
+        self.engine = engine
+        self.telemetry = telemetry
+        self.interval_s = interval_s
+        self._stopped = False
+        self._armed = False
+
+    def arm(self) -> None:
+        """Schedule the first tick one interval from now (idempotent)."""
+        if self._armed:
+            return
+        self._armed = True
+        self.engine.call_at(self.engine.now + self.interval_s, self._tick)
+
+    def disarm(self) -> None:
+        """Stop the chain; the pending timer fires once as a no-op."""
+        self._stopped = True
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        self.telemetry.sample(self.engine.now)
+        self.engine.call_at(self.engine.now + self.interval_s, self._tick)

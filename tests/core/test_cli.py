@@ -79,6 +79,46 @@ def test_run_command_executes_real_kernels(capsys):
     assert "TM" in out
 
 
+def test_run_command_metrics_out(tmp_path, capsys):
+    base = tmp_path / "metrics"
+    rc = main([
+        "run", "--apps", "PD:1", "--rate", "200", "--timing-only",
+        "--metrics-out", str(base), "--metrics-interval", "0.005",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "metrics" in out
+    doc = json.loads((tmp_path / "metrics.json").read_text())
+    assert doc["schema"] == "repro.telemetry/1"
+    assert doc["samples"], "periodic sampling produced no snapshots"
+    prom = (tmp_path / "metrics.prom").read_text()
+    assert prom.startswith("# HELP ")
+    assert "cedr_tasks_completed" in prom
+
+
+def test_run_command_rejects_negative_metrics_interval(tmp_path):
+    with pytest.raises(SystemExit):
+        main([
+            "run", "--apps", "PD:1", "--timing-only",
+            "--metrics-out", str(tmp_path / "m"), "--metrics-interval", "-1",
+        ])
+
+
+def test_telemetry_command(capsys):
+    assert main(["telemetry"]) == 0
+    out = capsys.readouterr().out
+    assert "cedr_api_call_latency_seconds" in out
+    assert "histogram" in out and "buckets:" in out
+
+
+def test_telemetry_command_json(capsys):
+    assert main(["telemetry", "--json"]) == 0
+    catalog = json.loads(capsys.readouterr().out)
+    names = {entry["name"] for entry in catalog}
+    assert "cedr_pe_dispatch_total" in names
+    assert all({"name", "type", "labels", "help"} <= set(e) for e in catalog)
+
+
 def test_figure_command_fig5(capsys):
     rc = main(["figure", "fig5", "--rates", "3", "--trials", "1"])
     assert rc == 0

@@ -1,0 +1,102 @@
+"""Unit tests for the metric primitives and the central registry."""
+
+import pytest
+
+from repro.telemetry import Counter, Gauge, Histogram, MetricRegistry
+
+
+# --------------------------------------------------------------------- #
+# counters and gauges
+# --------------------------------------------------------------------- #
+
+def test_counter_accumulates_and_rejects_negative():
+    c = Counter()
+    c.inc()
+    c.inc(2.5)
+    assert c.value == 3.5
+    with pytest.raises(ValueError, match=">= 0"):
+        c.inc(-1.0)
+    assert c.state() == {"value": 3.5}
+
+
+def test_gauge_moves_both_ways():
+    g = Gauge()
+    g.set(4.0)
+    g.inc()
+    g.dec(2.0)
+    assert g.value == 3.0
+
+
+# --------------------------------------------------------------------- #
+# histograms
+# --------------------------------------------------------------------- #
+
+def test_histogram_bucketing_and_cumulation():
+    h = Histogram((1.0, 10.0, 100.0))
+    for v in (0.5, 1.0, 5.0, 50.0, 500.0, 5000.0):
+        h.observe(v)
+    # le is inclusive: 1.0 lands in the first bucket
+    assert h.counts == [2, 1, 1, 2]
+    assert h.cumulative() == [2, 3, 4, 6]
+    assert h.count == 6
+    assert h.sum == pytest.approx(5556.5)
+
+
+def test_histogram_validates_bounds():
+    with pytest.raises(ValueError, match="at least one"):
+        Histogram(())
+    with pytest.raises(ValueError, match="ascending"):
+        Histogram((1.0, 1.0))
+    with pytest.raises(ValueError, match="ascending"):
+        Histogram((2.0, 1.0))
+    with pytest.raises(ValueError, match="finite"):
+        Histogram((1.0, float("inf")))
+
+
+# --------------------------------------------------------------------- #
+# families and the registry
+# --------------------------------------------------------------------- #
+
+def test_unlabelled_registration_returns_bare_metric():
+    r = MetricRegistry()
+    c = r.counter("events_total", "help text")
+    assert isinstance(c, Counter)
+    c.inc()
+    assert r.get("events_total").series() == [((), c)]
+
+
+def test_labelled_family_children_and_sorted_series():
+    r = MetricRegistry()
+    fam = r.counter("per_pe_total", labels=("pe",))
+    fam.labels("zebra").inc(1)
+    fam.labels("alpha").inc(2)
+    assert fam.labels("zebra") is fam.labels("zebra")  # cached child
+    keys = [key for key, _ in fam.series()]
+    assert keys == [("alpha",), ("zebra",)]  # sorted, not first-use, order
+
+
+def test_label_arity_enforced():
+    r = MetricRegistry()
+    fam = r.counter("pairs_total", labels=("a", "b"))
+    with pytest.raises(ValueError, match="expects labels"):
+        fam.labels("only-one")
+
+
+def test_duplicate_registration_rejected():
+    r = MetricRegistry()
+    r.gauge("depth")
+    with pytest.raises(ValueError, match="registered twice"):
+        r.counter("depth")
+
+
+def test_registration_order_preserved_and_snapshot_shape():
+    r = MetricRegistry()
+    r.counter("b_total", "B")
+    r.gauge("a_depth", "A")
+    r.histogram("lat_seconds", (0.1, 1.0), "L")
+    assert [f.name for f in r.families()] == ["b_total", "a_depth", "lat_seconds"]
+    snap = r.snapshot()
+    assert list(snap) == ["b_total", "a_depth", "lat_seconds"]
+    assert snap["lat_seconds"]["bounds"] == [0.1, 1.0]
+    assert snap["a_depth"]["type"] == "gauge"
+    assert snap["b_total"]["series"] == [{"labels": {}, "value": 0.0}]

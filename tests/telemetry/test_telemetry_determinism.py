@@ -1,0 +1,95 @@
+"""The telemetry determinism contract (docs/INTERNALS.md).
+
+Two pins:
+
+* snapshots are bit-identical between serial and process-pool (``--jobs``)
+  sweeps - the telemetry dict survives pickling through the pool unchanged;
+* collecting telemetry never perturbs the run it measures: with telemetry
+  disabled (or absent) every other :class:`RunResult` field is identical to
+  a telemetry-enabled run of the same cell.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.apps import PulseDoppler, WifiTx
+from repro.experiments import run_once, run_trials
+from repro.runtime import RuntimeConfig
+from repro.telemetry import TelemetryConfig
+from repro.workload import WorkloadEntry, WorkloadSpec
+
+TINY = WorkloadSpec(
+    "tiny",
+    (WorkloadEntry(PulseDoppler(batch=8), 1), WorkloadEntry(WifiTx(batch=5), 1)),
+)
+
+INSTRUMENTED = RuntimeConfig(
+    scheduler="eft", execute_kernels=False,
+    telemetry=TelemetryConfig(sample_interval_s=0.005),
+)
+
+
+def _dump(result) -> str:
+    return json.dumps(result.telemetry, sort_keys=True, allow_nan=False)
+
+
+def test_snapshots_bit_identical_serial_vs_process_pool(zcu_small):
+    serial = run_trials(zcu_small, TINY, "api", 200.0, "eft",
+                        trials=2, base_seed=0, config=INSTRUMENTED, n_jobs=1)
+    pooled = run_trials(zcu_small, TINY, "api", 200.0, "eft",
+                        trials=2, base_seed=0, config=INSTRUMENTED, n_jobs=2)
+    assert serial == pooled
+    for s, p in zip(serial, pooled):
+        assert s.telemetry is not None
+        assert s.telemetry["samples"], "periodic sampler produced no snapshots"
+        assert _dump(s) == _dump(p)
+
+
+def test_recording_never_perturbs_the_run(zcu_small):
+    """Metric recording is pure state mutation: with the sampler off (no
+    extra timer events), an instrumented run is bit-identical to a plain
+    one in every non-telemetry field."""
+    plain = run_once(zcu_small, TINY, "api", 200.0, "eft", seed=3)
+    metered = run_once(
+        zcu_small, TINY, "api", 200.0, "eft", seed=3,
+        config=RuntimeConfig(scheduler="eft", execute_kernels=False,
+                             telemetry=TelemetryConfig(sample_interval_s=0.0)),
+    )
+    assert plain.telemetry is None
+    assert metered.telemetry is not None
+    a = dataclasses.asdict(plain)
+    b = dataclasses.asdict(metered)
+    a.pop("telemetry"), b.pop("telemetry")
+    assert a == b
+
+
+def test_sampler_timers_drift_at_most_float_reassociation(zcu_small):
+    """Periodic sampling adds timer events, which split processor-sharing
+    spans exactly like any other timer (fault injection included) - the
+    run's physics are unchanged up to float reassociation."""
+    plain = run_once(zcu_small, TINY, "api", 200.0, "eft", seed=3)
+    sampled = run_once(zcu_small, TINY, "api", 200.0, "eft", seed=3,
+                       config=INSTRUMENTED)
+    assert sampled.makespan == pytest.approx(plain.makespan, rel=1e-12)
+    assert sampled.tasks_completed == plain.tasks_completed
+    assert sampled.pe_task_histogram == plain.pe_task_histogram
+    assert sampled.sched_rounds == plain.sched_rounds
+
+
+def test_disabled_config_is_bit_identical_to_no_config(zcu_small):
+    plain = run_once(zcu_small, TINY, "api", 200.0, "eft", seed=3)
+    gated = run_once(
+        zcu_small, TINY, "api", 200.0, "eft", seed=3,
+        config=RuntimeConfig(scheduler="eft", execute_kernels=False,
+                             telemetry=TelemetryConfig(enabled=False,
+                                                       sample_interval_s=0.005)),
+    )
+    assert plain == gated  # includes telemetry=None on both sides
+
+
+def test_repeated_instrumented_runs_reproduce(zcu_small):
+    a = run_once(zcu_small, TINY, "api", 200.0, "eft", seed=3, config=INSTRUMENTED)
+    b = run_once(zcu_small, TINY, "api", 200.0, "eft", seed=3, config=INSTRUMENTED)
+    assert _dump(a) == _dump(b)
