@@ -127,6 +127,15 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument("--fault-seed", type=int, default=None,
                      help="resilience figure only: pin one fault schedule "
                           "across trials (default: derive from trial seeds)")
+    cache = fig.add_mutually_exclusive_group()
+    cache.add_argument("--cache", action="store_true",
+                       help="reuse previously simulated sweep cells from the "
+                            "content-addressed cache (default dir "
+                            ".repro-cache/; see also $REPRO_CACHE)")
+    cache.add_argument("--no-cache", action="store_true",
+                       help="force caching off, overriding $REPRO_CACHE")
+    fig.add_argument("--cache-dir", metavar="DIR", default=None,
+                     help="cache directory (implies --cache)")
     return parser
 
 
@@ -298,7 +307,41 @@ def _cmd_telemetry(args) -> int:
     return 0
 
 
+def _resolve_figure_cache(args):
+    """Translate the figure cache flags into a SweepCache / False / None."""
+    from repro.experiments import SweepCache, resolve_cache
+
+    if args.no_cache:
+        if args.cache_dir is not None:
+            raise SystemExit("--cache-dir conflicts with --no-cache")
+        return False
+    if args.cache_dir is not None:
+        return SweepCache(args.cache_dir)
+    if args.cache:
+        return SweepCache()
+    # no explicit flag: honour $REPRO_CACHE, but pin one handle for the whole
+    # figure so hit/miss counters aggregate across its nested sweeps
+    return resolve_cache(None)
+
+
 def _cmd_figure(args) -> int:
+    from repro.experiments import configure_cache
+
+    cache = _resolve_figure_cache(args)
+    # pin the handle process-wide so every sweep a figure driver makes goes
+    # through it (and its hit/miss counters), then restore on the way out
+    previous_cache = configure_cache(cache)
+    try:
+        code = _run_figure(args)
+    finally:
+        configure_cache(previous_cache)
+    if cache:
+        print(f"\ncache     : {cache.stats.summary()} "
+              f"({cache.stats.stores} stored in {cache.root})")
+    return code
+
+
+def _run_figure(args) -> int:
     from repro.experiments import (
         run_fig5,
         run_fig6_fig7,

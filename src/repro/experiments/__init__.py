@@ -5,7 +5,17 @@ corresponding figure panel(s); the ``benchmarks/`` tree wraps them with
 pytest-benchmark and prints the series tables.
 """
 
-from .common import RateSweep, resolve_jobs, run_once, run_trials, sweep_rates
+from .cache import CacheStats, SweepCache, cell_digest
+from .common import (
+    CACHE_ENV,
+    RateSweep,
+    configure_cache,
+    resolve_cache,
+    resolve_jobs,
+    run_once,
+    run_trials,
+    sweep_rates,
+)
 from .fig5_runtime_overhead import SATURATION_MBPS, run_fig5, saturated_reduction
 from .fig67_exec_sched import run_fig6_fig7
 from .fig8_jetson import run_fig8
@@ -19,6 +29,12 @@ __all__ = [
     "sweep_rates",
     "resolve_jobs",
     "RateSweep",
+    "SweepCache",
+    "CacheStats",
+    "cell_digest",
+    "configure_cache",
+    "resolve_cache",
+    "CACHE_ENV",
     "run_fig5",
     "saturated_reduction",
     "SATURATION_MBPS",

@@ -1,0 +1,322 @@
+"""Content-addressed cache of sweep cells: never simulate the same run twice.
+
+A grid cell is a pure function of its inputs - ``(platform, workload, mode,
+rate, scheduler, seed, execute, config)`` fully determine the
+:class:`~repro.metrics.RunResult` (the engine owns its RNG, seeded from
+``seed``; nothing leaks between runs).  That purity is what makes parallel
+sweeps bit-identical to serial ones, and it equally makes every cell
+*memoizable*: hash the inputs, look the digest up on disk, and only
+simulate the cells the store has never seen.  Re-running a figure with one
+more rate point, extra trials, or after an unrelated code change then costs
+only the new cells - see "Incremental sweeps" in EXPERIMENTS.md.
+
+Keying is **content-addressed**, not argument-spelling-addressed: the cell
+is canonically encoded (dataclasses by field, mappings sorted, enums by
+qualified name, floats by exact ``repr`` round-trip) and the SHA-256 of
+that encoding names the entry.  Two configs that compare equal produce the
+same digest no matter how they were constructed; any observable difference
+- a timing-model coefficient, a fault-script entry, one runtime cost knob -
+produces a different digest.  There is deliberately no "close enough":
+a cache hit returns the bit-identical ``RunResult`` the simulation would
+have produced.
+
+Entries are one JSON file per digest under the cache root (default
+``.repro-cache/``), written atomically (temp file + ``os.replace``) so a
+killed sweep never leaves a torn entry, and self-describing: each carries
+the schema tag and its full canonical key, which is re-checked on load so
+a hash collision or encoder bug degrades to a miss, never to wrong data.
+Corrupted or unreadable entries are deleted and re-simulated.
+
+Cells that cannot be keyed or stored faithfully are *uncacheable*, not
+errors: an exotic object in the key that the canonical encoder refuses, or
+a result carrying a telemetry export (whose payload does not round-trip
+through JSON unchanged).  Those cells simply run every time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import math
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping, Optional
+
+import numpy as np
+
+from repro.metrics import RunResult
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "DEFAULT_CACHE_DIR",
+    "CacheStats",
+    "SweepCache",
+    "UncacheableCell",
+    "cell_digest",
+]
+
+#: entry format version; bump on any change to the canonical encoding or
+#: the stored-result layout, which invalidates every existing entry (the
+#: schema tag participates in the digest).
+CACHE_SCHEMA = "repro.sweep-cache/1"
+
+#: cache root used when caching is enabled without an explicit directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+class UncacheableCell(TypeError):
+    """The cell key contains a value the canonical encoder cannot commit to."""
+
+
+def _canon(obj: Any) -> Any:
+    """Canonical JSON-ready encoding of one key component.
+
+    The encoding must be *injective on observable state* (different
+    configs -> different encodings) and *stable* (same config -> same
+    encoding, across processes and dict orderings).  Dataclasses encode by
+    declared field only, so derived caches living in non-field attributes
+    (e.g. ``TimingModel``'s memo table) never perturb the key.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        # JSON floats round-trip exactly via repr, but inf/nan are not JSON
+        if math.isfinite(obj):
+            return obj
+        return {"!float": repr(obj)}
+    if isinstance(obj, enum.Enum):
+        cls = type(obj)
+        return {"!enum": f"{cls.__module__}.{cls.__qualname__}", "name": obj.name}
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        # compare=False fields are excluded, mirroring dataclass equality:
+        # derived memo tables (e.g. TimingModel._cost_cache) are not
+        # observable state and must not perturb the digest
+        cls = type(obj)
+        return {
+            "!dc": f"{cls.__module__}.{cls.__qualname__}",
+            "fields": {
+                f.name: _canon(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)
+                if f.compare
+            },
+        }
+    if isinstance(obj, Mapping):
+        items = [[_canon(k), _canon(v)] for k, v in obj.items()]
+        items.sort(key=lambda kv: json.dumps(kv[0], sort_keys=True))
+        return {"!map": items}
+    if isinstance(obj, (list, tuple)):
+        return [_canon(v) for v in obj]
+    if isinstance(obj, (set, frozenset)):
+        encoded = [_canon(v) for v in obj]
+        encoded.sort(key=lambda v: json.dumps(v, sort_keys=True))
+        return {"!set": encoded}
+    if isinstance(obj, np.ndarray):
+        # apps may precompute array state (e.g. LaneDetection's Gaussian
+        # kernel); dtype + shape + raw C-order bytes is exact and stable
+        arr = np.ascontiguousarray(obj)
+        return {
+            "!ndarray": arr.dtype.str,
+            "shape": list(arr.shape),
+            "data": arr.tobytes().hex(),
+        }
+    if isinstance(obj, np.generic):
+        return _canon(obj.item())
+    if hasattr(obj, "__dict__") and not callable(obj):
+        # plain config-style object (e.g. a CedrApplication): class identity
+        # plus every instance attribute is its observable state
+        cls = type(obj)
+        return {
+            "!obj": f"{cls.__module__}.{cls.__qualname__}",
+            "attrs": _canon(vars(obj)),
+        }
+    raise UncacheableCell(
+        f"cannot canonically encode {type(obj).__name__!r} value {obj!r} "
+        f"for cache keying"
+    )
+
+
+def cell_digest(cell: tuple) -> tuple[str, Any]:
+    """(sha256 hex digest, canonical key) of one sweep cell.
+
+    Raises :class:`UncacheableCell` when the cell cannot be keyed.
+    """
+    key = [CACHE_SCHEMA, _canon(cell)]
+    blob = json.dumps(key, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest(), key
+
+
+def _encode_result(result: RunResult) -> dict:
+    """JSON-ready encoding of a RunResult (telemetry-free by contract)."""
+    return {
+        "n_apps": result.n_apps,
+        "n_cancelled": result.n_cancelled,
+        "exec_times": list(result.exec_times),
+        "exec_times_by_app": {
+            k: list(v) for k, v in result.exec_times_by_app.items()
+        },
+        "runtime_overhead_s": result.runtime_overhead_s,
+        "sched_overhead_s": result.sched_overhead_s,
+        "sched_rounds": result.sched_rounds,
+        "ready_depth_mean": result.ready_depth_mean,
+        "ready_depth_max": result.ready_depth_max,
+        "makespan": result.makespan,
+        "tasks_completed": result.tasks_completed,
+        "pe_task_histogram": dict(result.pe_task_histogram),
+        "n_failed": result.n_failed,
+        "faults_injected": result.faults_injected,
+        "task_failures": result.task_failures,
+        "retries": result.retries,
+        "tasks_lost": result.tasks_lost,
+        "mean_time_to_recovery": result.mean_time_to_recovery,
+    }
+
+
+def _decode_result(data: dict) -> RunResult:
+    """Inverse of :func:`_encode_result`; restores the tuple-typed fields."""
+    return RunResult(
+        n_apps=int(data["n_apps"]),
+        n_cancelled=int(data["n_cancelled"]),
+        exec_times=tuple(float(t) for t in data["exec_times"]),
+        exec_times_by_app={
+            str(k): tuple(float(t) for t in v)
+            for k, v in data["exec_times_by_app"].items()
+        },
+        runtime_overhead_s=float(data["runtime_overhead_s"]),
+        sched_overhead_s=float(data["sched_overhead_s"]),
+        sched_rounds=int(data["sched_rounds"]),
+        ready_depth_mean=float(data["ready_depth_mean"]),
+        ready_depth_max=int(data["ready_depth_max"]),
+        makespan=float(data["makespan"]),
+        tasks_completed=int(data["tasks_completed"]),
+        pe_task_histogram={
+            str(k): int(v) for k, v in data["pe_task_histogram"].items()
+        },
+        n_failed=int(data["n_failed"]),
+        faults_injected=int(data["faults_injected"]),
+        task_failures=int(data["task_failures"]),
+        retries=int(data["retries"]),
+        tasks_lost=int(data["tasks_lost"]),
+        mean_time_to_recovery=float(data["mean_time_to_recovery"]),
+        telemetry=None,
+    )
+
+
+@dataclass
+class CacheStats:
+    """Counters for one cache handle's lifetime (reported by the CLI)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    uncacheable: int = 0
+    corrupt: int = 0
+
+    def summary(self) -> str:
+        parts = [f"{self.hits} hits", f"{self.misses} misses"]
+        if self.uncacheable:
+            parts.append(f"{self.uncacheable} uncacheable")
+        if self.corrupt:
+            parts.append(f"{self.corrupt} corrupt entries dropped")
+        return ", ".join(parts)
+
+
+#: sentinel distinguishing "no probe supplied" from "probe said uncacheable"
+_UNPROBED = object()
+
+
+class SweepCache:
+    """On-disk content-addressed store of sweep-cell results."""
+
+    def __init__(self, root: "str | os.PathLike[str]" = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+        self.stats = CacheStats()
+
+    def _path(self, digest: str) -> Path:
+        return self.root / f"{digest}.json"
+
+    def probe(self, cell: tuple) -> Optional[tuple[str, Any]]:
+        """Key *cell* once: ``(digest, canonical key)``, or None if uncacheable.
+
+        Pass the probe to both :meth:`get` and :meth:`put` so the lookup and
+        the store agree on the digest even if the cell's objects are mutated
+        (e.g. by lazy memoization) while the simulation runs in between.
+        """
+        try:
+            return cell_digest(cell)
+        except UncacheableCell:
+            self.stats.uncacheable += 1
+            return None
+
+    def get(self, cell: tuple, probe: Any = _UNPROBED) -> Optional[RunResult]:
+        """Stored result for *cell*, or ``None`` (counted as a miss)."""
+        if probe is _UNPROBED:
+            probe = self.probe(cell)
+        if probe is None:
+            self.stats.misses += 1
+            return None
+        digest, key = probe
+        path = self._path(digest)
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except OSError:
+            self._drop_corrupt(path)
+            return None
+        try:
+            entry = json.loads(raw)
+            if entry["schema"] != CACHE_SCHEMA or entry["key"] != key:
+                # schema drift, hash collision, or encoder bug: the stored
+                # key is re-checked so none of those can surface wrong data
+                raise ValueError("cache entry does not match its cell")
+            result = _decode_result(entry["result"])
+        except (ValueError, KeyError, TypeError):
+            self._drop_corrupt(path)
+            return None
+        self.stats.hits += 1
+        return result
+
+    def put(self, cell: tuple, result: RunResult, probe: Any = _UNPROBED) -> bool:
+        """Persist *result* under *cell*'s digest; True if stored."""
+        if result.telemetry is not None:
+            # telemetry exports carry tuples that do not survive a JSON
+            # round trip bit-identically; such runs stay uncached
+            self.stats.uncacheable += 1
+            return False
+        if probe is _UNPROBED:
+            probe = self.probe(cell)
+        if probe is None:
+            return False
+        digest, key = probe
+        entry = {"schema": CACHE_SCHEMA, "key": key, "result": _encode_result(result)}
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self._path(digest)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(entry, fh, separators=(",", ":"))
+            os.replace(tmp, path)  # atomic: readers see old or new, never torn
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+        return True
+
+    def _drop_corrupt(self, path: Path) -> None:
+        self.stats.corrupt += 1
+        self.stats.misses += 1
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<SweepCache {self.root} {self.stats.summary()}>"

@@ -25,6 +25,19 @@ property the determinism tests pin).  ``n_jobs=None`` reads the
 ``REPRO_JOBS`` environment variable (default 1, i.e. serial); ``n_jobs<=-1``
 means one worker per CPU.  This is what makes the paper's full 29-rate x
 25-trial grids tractable - see EXPERIMENTS.md.
+
+Incremental sweeps
+------------------
+
+The same purity that makes sweeps parallelizable makes them cacheable:
+when a :class:`~repro.experiments.cache.SweepCache` is active, every grid
+cell is looked up by content digest before any work is sharded to the
+pool, and only the missing cells are simulated (then stored).  Enable it
+with ``REPRO_CACHE=1`` (or a directory path), the ``--cache``/
+``--cache-dir`` CLI flags, or by passing ``cache=SweepCache(...)`` to
+:func:`run_trials`/:func:`sweep_rates`.  Hits return the bit-identical
+``RunResult`` the simulation would have produced, so cached, parallel,
+and serial sweeps all agree byte-for-byte.
 """
 
 from __future__ import annotations
@@ -32,24 +45,48 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
+from repro.experiments.cache import DEFAULT_CACHE_DIR, SweepCache
 from repro.metrics import RunResult, TrialStats, aggregate_trials
 from repro.platforms import PlatformConfig
 from repro.runtime import CedrRuntime, RuntimeConfig
 from repro.workload import WorkloadSpec
 
-__all__ = ["run_once", "run_trials", "RateSweep", "sweep_rates", "resolve_jobs"]
+__all__ = [
+    "run_once",
+    "run_trials",
+    "RateSweep",
+    "sweep_rates",
+    "resolve_jobs",
+    "configure_cache",
+    "resolve_cache",
+]
 
 #: environment variable holding the default worker-process count
 JOBS_ENV = "REPRO_JOBS"
+
+#: environment variable enabling the sweep cache ("1"/"true" -> default
+#: directory, any other non-empty value -> that directory, ""/"0" -> off)
+CACHE_ENV = "REPRO_CACHE"
+
+#: ``cache`` argument type shared by the sweep entry points: ``None`` defers
+#: to :func:`configure_cache` / ``REPRO_CACHE``, ``False`` forces caching off,
+#: a :class:`SweepCache` is used as-is.
+CacheArg = Union[None, bool, SweepCache]
+
+#: process-wide cache override installed by :func:`configure_cache`
+#: (``None`` = defer to the environment, ``False`` = force off)
+_cache_override: CacheArg = None
 
 
 def resolve_jobs(n_jobs: Optional[int]) -> int:
     """Resolve an ``n_jobs`` argument to a concrete worker count.
 
     ``None`` defers to the ``REPRO_JOBS`` environment variable (absent or
-    empty means serial); any value <= -1 means one worker per CPU.
+    empty means serial); any value <= -1 means one worker per CPU.  Other
+    non-positive counts (``0`` in particular) are rejected: silently
+    coercing them to serial used to mask sweep-driver bugs.
     """
     if n_jobs is None:
         raw = os.environ.get(JOBS_ENV, "").strip()
@@ -60,8 +97,53 @@ def resolve_jobs(n_jobs: Optional[int]) -> int:
                 f"{JOBS_ENV} must be an integer worker count, got {raw!r}"
             ) from None
     if n_jobs <= -1:
-        n_jobs = os.cpu_count() or 1
-    return max(1, n_jobs)
+        return os.cpu_count() or 1
+    if n_jobs < 1:
+        raise ValueError(
+            f"n_jobs must be >= 1 or <= -1 (all cores), got {n_jobs}"
+        )
+    return n_jobs
+
+
+def configure_cache(cache: CacheArg) -> CacheArg:
+    """Install a process-wide sweep-cache override; returns the previous one.
+
+    ``None`` restores the default (defer to ``REPRO_CACHE``); ``False``
+    forces caching off regardless of the environment; a
+    :class:`SweepCache` instance is used by every sweep that does not pass
+    its own ``cache`` argument (this is how the CLI threads one handle -
+    and one set of hit/miss counters - through nested figure drivers).
+    """
+    global _cache_override
+    previous = _cache_override
+    _cache_override = cache
+    return previous
+
+
+def resolve_cache(cache: CacheArg = None) -> Optional[SweepCache]:
+    """Resolve a ``cache`` argument to a live :class:`SweepCache` or None.
+
+    Precedence: an explicit argument beats :func:`configure_cache`, which
+    beats the ``REPRO_CACHE`` environment variable (""/"0"/"false"/"off" ->
+    disabled, "1"/"true"/"on" -> the default ``.repro-cache/`` directory,
+    anything else -> that directory).
+    """
+    if cache is False:
+        return None
+    if isinstance(cache, SweepCache):
+        return cache
+    if cache is not None:
+        raise TypeError(
+            f"cache must be None, False, or a SweepCache, got {cache!r}"
+        )
+    if _cache_override is not None:
+        return _cache_override if isinstance(_cache_override, SweepCache) else None
+    raw = os.environ.get(CACHE_ENV, "").strip()
+    if not raw or raw.lower() in ("0", "false", "off", "no"):
+        return None
+    if raw.lower() in ("1", "true", "on", "yes"):
+        return SweepCache(DEFAULT_CACHE_DIR)
+    return SweepCache(raw)
 
 
 def run_once(
@@ -102,13 +184,39 @@ def _run_cell(cell: tuple) -> RunResult:
     )
 
 
-def _run_cells(cells: list[tuple], n_jobs: int) -> list[RunResult]:
+def _run_cells(
+    cells: list[tuple],
+    n_jobs: int,
+    cache: Optional[SweepCache] = None,
+) -> list[RunResult]:
     """Run grid cells, serially or across a process pool, in grid order.
 
     The executor path uses ``map`` so results come back in submission order
     regardless of completion order - determinism does not depend on worker
-    scheduling.
+    scheduling.  With a cache, hits are satisfied in the parent before any
+    sharding and only the missing cells reach the pool; the final list is
+    reassembled in grid order either way, so caching never perturbs output
+    ordering (or bits - a hit is the stored ``RunResult``, exactly).
     """
+    if cache is None:
+        return _simulate_cells(cells, n_jobs)
+    # each cell is keyed exactly once: get and put share the probe, so a
+    # digest can never drift between lookup and store within one sweep
+    probes = [cache.probe(cell) for cell in cells]
+    results: list[Optional[RunResult]] = [
+        cache.get(cell, probe) for cell, probe in zip(cells, probes)
+    ]
+    missing = [i for i, r in enumerate(results) if r is None]
+    if missing:
+        fresh = _simulate_cells([cells[i] for i in missing], n_jobs)
+        for i, result in zip(missing, fresh):
+            cache.put(cells[i], result, probes[i])
+            results[i] = result
+    return results
+
+
+def _simulate_cells(cells: list[tuple], n_jobs: int) -> list[RunResult]:
+    """The raw (cache-free) execution path behind :func:`_run_cells`."""
     if n_jobs <= 1 or len(cells) <= 1:
         return [_run_cell(c) for c in cells]
     workers = min(n_jobs, len(cells))
@@ -133,11 +241,13 @@ def run_trials(
     execute: bool = False,
     config: Optional[RuntimeConfig] = None,
     n_jobs: Optional[int] = None,
+    cache: CacheArg = None,
 ) -> list[RunResult]:
     """Repeat :func:`run_once` over ``trials`` seeds (paper: 25 trials).
 
     ``n_jobs`` > 1 fans the trials out over worker processes; results are
-    returned in seed order either way.
+    returned in seed order either way.  ``cache`` enables the sweep cache
+    (see :func:`resolve_cache` for the ``None``/``False``/instance forms).
     """
     if trials < 1:
         raise ValueError(f"need at least one trial, got {trials}")
@@ -145,7 +255,7 @@ def run_trials(
         (platform, workload, mode, rate_mbps, scheduler, seed, execute, config)
         for seed in trial_seeds(trials, base_seed)
     ]
-    return _run_cells(cells, resolve_jobs(n_jobs))
+    return _run_cells(cells, resolve_jobs(n_jobs), resolve_cache(cache))
 
 
 @dataclass(frozen=True)
@@ -173,12 +283,16 @@ def sweep_rates(
     execute: bool = False,
     config: Optional[RuntimeConfig] = None,
     n_jobs: Optional[int] = None,
+    cache: CacheArg = None,
 ) -> RateSweep:
     """Run the workload across an injection-rate grid with trials.
 
     With ``n_jobs`` > 1 every (rate, trial) cell of the grid is an
     independent unit of work sharded across one process pool, so the
     speedup scales with ``rates x trials`` rather than ``trials`` alone.
+    With a cache (``REPRO_CACHE=1`` or an explicit handle), previously
+    simulated cells are loaded instead of re-run, so regenerating a figure
+    after a parameter tweak costs only the new cells.
     """
     rates = tuple(float(r) for r in rates)
     seeds = trial_seeds(trials, base_seed)
@@ -187,7 +301,7 @@ def sweep_rates(
         for rate in rates
         for seed in seeds
     ]
-    results = _run_cells(cells, resolve_jobs(n_jobs))
+    results = _run_cells(cells, resolve_jobs(n_jobs), resolve_cache(cache))
     per_metric: dict[str, list[TrialStats]] = {}
     for i, rate in enumerate(rates):
         rate_results = results[i * trials:(i + 1) * trials]

@@ -15,7 +15,7 @@ from .energy import (
     PowerModel,
     estimate_energy,
 )
-from .timing import AccelCost, TimingModel, jetson_timing, zcu102_timing
+from .timing import AccelCost, CostTable, TimingModel, jetson_timing, zcu102_timing
 
 __all__ = [
     "PE",
@@ -30,6 +30,7 @@ __all__ = [
     "jetson",
     "TimingModel",
     "AccelCost",
+    "CostTable",
     "zcu102_timing",
     "jetson_timing",
     "PowerModel",

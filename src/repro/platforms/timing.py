@@ -39,15 +39,16 @@ the GPU provides the real speedup the paper's Jetson figures show.
 
 from __future__ import annotations
 
+import itertools
 import math
 from dataclasses import dataclass, field, replace
-from typing import Mapping, Optional
+from typing import Mapping, Optional, Sequence
 
 import numpy as np
 
 from .pe import PE, PEKind
 
-__all__ = ["AccelCost", "TimingModel", "zcu102_timing", "jetson_timing"]
+__all__ = ["AccelCost", "TimingModel", "CostTable", "zcu102_timing", "jetson_timing"]
 
 #: bytes per complex128 element streamed to/from an accelerator
 _BYTES_PER_ELEM = 16.0
@@ -230,6 +231,128 @@ class TimingModel:
 
     def with_noise(self, sigma: float) -> "TimingModel":
         return replace(self, noise_sigma=sigma)
+
+
+#: per-process CostTable serials; tasks stamp the serial of the table that
+#: interned them so a stale row id from another table is never trusted.
+_table_tokens = itertools.count()
+
+
+class CostTable:
+    """Columnar profile table: per-(api, params) rows of per-PE estimates.
+
+    Real CEDR consults static execution-time profiling tables; this is the
+    columnar analogue for the simulated schedulers.  Each unique
+    ``(api, params)`` shape is *interned* to a row id, and two parallel
+    arrays hold the row data:
+
+    * ``est[row]`` - float64 vector of :meth:`TimingModel.estimate` values
+      per PE, ``+inf`` where the PE kind does not support the API;
+    * ``support[row]`` - boolean vector of the (API, PE-kind) matrix.
+
+    Batched gathers (:meth:`estimate_rows` / :meth:`support_rows`) feed the
+    vectorized scheduler rounds; the instance is also callable as a scalar
+    ``estimate(task, pe)`` so it plugs into the existing
+    :class:`~repro.sched.base.Scheduler` interface unchanged.  Values are
+    computed once per row by the scalar reference path, so both paths see
+    bit-identical floats.
+
+    Row ids are cached on the tasks themselves (``task.cost_row``), guarded
+    by a per-table token (``task.cost_token``) so a task interned by one
+    runtime's table is safely re-interned by another's.
+    """
+
+    def __init__(self, timing: TimingModel, pes: Sequence[PE]) -> None:
+        self.timing = timing
+        self.pes = list(pes)
+        for j, pe in enumerate(self.pes):
+            if pe.index != j:
+                # column j of every row is pes[j]; the schedulers address
+                # columns by pe.index, so the two must coincide (they do for
+                # every platform built by PlatformConfig.build)
+                raise ValueError(
+                    f"PE {pe.name} has index {pe.index} at position {j}; "
+                    "CostTable requires index-aligned PE lists"
+                )
+        self.n_pes = len(self.pes)
+        self.token = next(_table_tokens)
+        self._row_ids: dict[tuple, int] = {}
+        self.n_rows = 0
+        cap = 16
+        self._est = np.full((cap, self.n_pes), np.inf)
+        self._support = np.zeros((cap, self.n_pes), dtype=bool)
+
+    # -- interning ------------------------------------------------------- #
+
+    def row(self, api: str, params: Mapping[str, float]) -> int:
+        """Intern one (api, params) shape; returns its row id."""
+        key = (api, tuple(sorted(params.items())))
+        row = self._row_ids.get(key)
+        if row is None:
+            row = self._add_row(api, params, key)
+        return row
+
+    def _add_row(self, api: str, params: Mapping[str, float], key: tuple) -> int:
+        row = self.n_rows
+        if row == len(self._est):
+            grown_est = np.full((2 * row, self.n_pes), np.inf)
+            grown_est[:row] = self._est
+            grown_sup = np.zeros((2 * row, self.n_pes), dtype=bool)
+            grown_sup[:row] = self._support
+            self._est, self._support = grown_est, grown_sup
+        for j, pe in enumerate(self.pes):
+            if pe.supports(api):
+                self._support[row, j] = True
+                self._est[row, j] = self.timing.estimate(api, params, pe)
+        self.n_rows += 1
+        self._row_ids[key] = row
+        return row
+
+    def task_row(self, task) -> int:
+        """Row id for *task*, interning and stamping it on first sight."""
+        if task.cost_token != self.token:
+            task.cost_row = self.row(task.api, task.params)
+            task.cost_token = self.token
+        return task.cost_row
+
+    def rows_for(self, tasks: Sequence) -> np.ndarray:
+        """Row-id vector for a ready batch (interning as needed)."""
+        task_row = self.task_row
+        return np.fromiter(
+            (task_row(t) for t in tasks), dtype=np.intp, count=len(tasks)
+        )
+
+    # -- batched access (the vectorized scheduler fast path) -------------- #
+
+    def estimate_rows(self, tasks: Sequence) -> np.ndarray:
+        """(n, p) float64 estimates for a ready batch; +inf = unsupported."""
+        return self._est[self.rows_for(tasks)]
+
+    def support_rows(self, tasks: Sequence) -> np.ndarray:
+        """(n, p) boolean support mask for a ready batch."""
+        return self._support[self.rows_for(tasks)]
+
+    def support_row(self, task) -> np.ndarray:
+        """(p,) boolean support vector of one task (a read-only view)."""
+        return self._support[self.task_row(task)]
+
+    def mean_estimate(self, api: str, params: Mapping[str, float]) -> float:
+        """Mean estimate over supporting PEs (HEFT_RT rank seed)."""
+        row = self.row(api, params)
+        sup = self._support[row]
+        if not sup.any():
+            raise ValueError(f"no PE supports API {api!r}")
+        return float(np.mean(self._est[row][sup]))
+
+    # -- scalar reference path ------------------------------------------- #
+
+    def lookup(self, task, pe_index: int) -> float:
+        """Scalar estimate by PE index (one array probe once interned)."""
+        return float(self._est[self.task_row(task), pe_index])
+
+    def __call__(self, task, pe: PE) -> float:
+        """EstimateFn-compatible scalar form used by the schedulers."""
+        return float(self._est[self.task_row(task), pe.index])
 
 
 def zcu102_timing() -> TimingModel:

@@ -56,6 +56,7 @@ import numpy as np
 
 from repro.faults import FaultInjector, TaskLostError
 from repro.platforms import PE, PEKind, PlatformInstance
+from repro.platforms.timing import CostTable
 from repro.sched import Scheduler, make_scheduler
 from repro.sched.heft_rt import upward_ranks
 from repro.simcore import Block, Compute, Request, SimQueue, SimThread, child_rng
@@ -172,7 +173,12 @@ class CedrRuntime:
         self._last_round_at = -float("inf")
         self._round_timer_pending = False
         self._round_due = False
-        self._estimate_cache: dict[tuple, float] = {}
+        #: columnar profile table: every task shape is interned to a row of
+        #: per-PE estimates when the task first enters the ready queue, and
+        #: the schedulers' batched helpers gather whole rounds from it.  The
+        #: table doubles as the scalar estimate(task, pe) callable.
+        self.cost_table = CostTable(platform.timing, platform.pes)
+        self._mean_cache: dict[int, float] = {}
         self.daemon_thread: Optional[SimThread] = None
         #: fault injection + recovery state; ``None`` whenever the config
         #: carries no active fault model (the bit-identical fast path).
@@ -275,6 +281,7 @@ class CedrRuntime:
         """API mode: the application thread pushes its task directly into
         the ready queue (paper: 'pushing tasks to the ready queue ... is
         handled by the application thread')."""
+        self.cost_table.task_row(task)  # intern the shape at creation
         task.state = TaskState.READY
         task.t_release = self.engine.now
         self.ready.append(task)
@@ -288,21 +295,19 @@ class CedrRuntime:
     def mean_estimate(self, api: str, params) -> float:
         """Mean execution estimate over supporting PEs (HEFT_RT ranks).
 
-        Memoized like :meth:`_estimate` - the profiling-table lookup.
+        Memoized per cost-table row - the profiling-table lookup.
         """
-        key = ("mean", api, tuple(sorted(params.items())))
-        cached = self._estimate_cache.get(key)
+        row = self.cost_table.row(api, params)
+        cached = self._mean_cache.get(row)
         if cached is not None:
             return cached
-        ests = [
-            self.platform.timing.estimate(api, params, pe)
-            for pe in self.platform.pes
-            if pe.supports(api)
-        ]
-        if not ests:
-            raise ValueError(f"no PE supports API {api!r} on {self.platform.config.name}")
-        value = float(np.mean(ests))
-        self._estimate_cache[key] = value
+        try:
+            value = self.cost_table.mean_estimate(api, params)
+        except ValueError:
+            raise ValueError(
+                f"no PE supports API {api!r} on {self.platform.config.name}"
+            ) from None
+        self._mean_cache[row] = value
         return value
 
     # ------------------------------------------------------------------ #
@@ -316,17 +321,13 @@ class CedrRuntime:
         return Compute(seconds)
 
     def _estimate(self, task: Task, pe: PE) -> float:
-        """Profiled execution estimate, memoized by (api, params, PE index).
+        """Profiled execution estimate: one columnar-table probe.
 
-        Workloads repeat identical kernel shapes thousands of times; caching
-        matches how real CEDR consults a static profiling table.
+        Workloads repeat identical kernel shapes thousands of times; the
+        interned row matches how real CEDR consults a static profiling
+        table.
         """
-        key = (task.api, tuple(sorted(task.params.items())), pe.index)
-        cached = self._estimate_cache.get(key)
-        if cached is None:
-            cached = self.platform.timing.estimate(task.api, task.params, pe)
-            self._estimate_cache[key] = cached
-        return cached
+        return self.cost_table.lookup(task, pe.index)
 
     def _daemon_body(self) -> Generator[Request, Any, None]:
         while True:
@@ -441,6 +442,8 @@ class CedrRuntime:
             self.engine.spawn(self._app_thread(app), name=f"app-{app.app_id}-{app.name}")
 
     def _assign_dag_ranks(self, tasks: list[Task]) -> None:
+        for task in tasks:
+            self.cost_table.task_row(task)  # intern every shape at creation
         ranks = upward_ranks(tasks, lambda t: self.mean_estimate(t.api, t.params))
         for task in tasks:
             task.rank = ranks[task]
@@ -534,7 +537,7 @@ class CedrRuntime:
         self.logbook.record_round(now, len(batch))
         for pe in pes:
             pe.expected_free = now + pe.outstanding_est * pe.slowdown
-        assignments = self.scheduler.schedule(batch, pes, now, self._estimate)
+        assignments = self.scheduler.schedule(batch, pes, now, self.cost_table)
         telemetry = self.telemetry
         for task, pe in assignments:
             task.state = TaskState.SCHEDULED
@@ -542,7 +545,7 @@ class CedrRuntime:
             if telemetry is not None:
                 # doorbell-to-dispatch: ready-queue entry to PE assignment
                 telemetry.record_sched_latency(task.t_scheduled - task.t_release)
-            task.est_used = self._estimate(task, pe)
+            task.est_used = self.cost_table.lookup(task, pe.index)
             pe.outstanding_est += task.est_used
             if self.faults is None:
                 self.mailboxes[pe.index].put_nowait(task)
@@ -574,16 +577,21 @@ class CedrRuntime:
         set as a runtime bug.
         """
         pes = self.platform.pes
+        table = self.cost_table
+        live = np.fromiter((pe.available for pe in pes), dtype=bool, count=len(pes))
+        alive = np.fromiter((not pe.dead for pe in pes), dtype=bool, count=len(pes))
         runnable: list[Task] = []
         for task in batch:
             app = self.apps[task.app_id]
             if app.cancelled or app.failed:
                 yield from self._drop_task(task)
                 continue
-            supporters = [pe for pe in pes if pe.supports(task.api)]
-            if any(pe.available for pe in supporters):
+            # support is one interned-table row; quarantine/death triage is
+            # a mask-row AND instead of rebuilding supporter lists per task
+            support = table.support_row(task)
+            if (support & live).any():
                 runnable.append(task)
-            elif any(not pe.dead for pe in supporters):
+            elif (support & alive).any():
                 self._parked.append(task)
             else:
                 yield from self._task_lost(task)

@@ -144,6 +144,12 @@ class Task:
     #: HEFT_RT priority: upward rank in DAG mode, mean execution estimate
     #: for API-mode calls (set at parse/enqueue time).
     rank: float = 0.0
+    #: interned row id in the runtime's columnar
+    #: :class:`~repro.platforms.timing.CostTable`, valid only while
+    #: ``cost_token`` matches the interning table's token (the daemon stamps
+    #: both when the task first enters the ready queue).
+    cost_row: int = -1
+    cost_token: int = -1
     #: execution estimate used when this task was assigned to its PE
     #: (drives the PE's outstanding-backlog accounting).
     est_used: float = 0.0

@@ -14,19 +14,36 @@ matter for reproducing the paper:
 
 Estimates come from the daemon as an ``estimate(task, pe)`` callable backed
 by the platform timing model - the runtime analogue of CEDR's offline
-profiling tables.
+profiling tables.  When that callable additionally exposes the *columnar*
+interface of :class:`~repro.platforms.timing.CostTable`
+(``estimate_rows(batch)`` / ``support_rows(batch)`` returning ``(n, p)``
+ndarrays), the batched helpers below gather whole rounds as NumPy arrays
+and the heuristics lose their per-task Python inner loops; a plain callable
+falls back to the scalar reference path with identical results.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING, Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
+
+import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.platforms import PE
     from repro.runtime.task import Task
 
-__all__ = ["Scheduler", "SchedulerError", "register_scheduler", "make_scheduler", "available_schedulers"]
+__all__ = [
+    "Scheduler",
+    "SchedulerError",
+    "candidate_mask",
+    "estimate_matrix",
+    "free_vector",
+    "greedy_earliest_finish",
+    "register_scheduler",
+    "make_scheduler",
+    "available_schedulers",
+]
 
 EstimateFn = Callable[["Task", "PE"], float]
 
@@ -97,6 +114,129 @@ class Scheduler(abc.ABC):
             if unbanned:
                 return unbanned
         return live
+
+
+def candidate_mask(
+    ready: Sequence["Task"], pes: Sequence["PE"], estimate: EstimateFn
+) -> np.ndarray:
+    """(n, p) boolean candidate matrix with :meth:`Scheduler.compatible`
+    semantics, built in one pass per round.
+
+    Three filters compose exactly as in ``compatible`` - support matrix,
+    fault-subsystem availability, retry bans with the better-a-suspect-PE
+    fallback - and the same :class:`SchedulerError` cases are raised.  With
+    a columnar estimate provider the support rows are one table gather;
+    otherwise support vectors are memoized per API within the round, so the
+    scalar fallback also stops paying a set rebuild per ready task.
+    """
+    n, p = len(ready), len(pes)
+    support_rows = getattr(estimate, "support_rows", None)
+    if support_rows is not None:
+        cand = support_rows(ready)
+    else:
+        cand = np.empty((n, p), dtype=bool)
+        by_api: dict[str, np.ndarray] = {}
+        for i, task in enumerate(ready):
+            row = by_api.get(task.api)
+            if row is None:
+                row = np.fromiter(
+                    (pe.supports(task.api) for pe in pes), dtype=bool, count=p
+                )
+                by_api[task.api] = row
+            cand[i] = row
+    supported = cand.any(axis=1)
+    if not supported.all():
+        task = ready[int(np.argmin(supported))]
+        raise SchedulerError(
+            f"no PE supports API {task.api!r} (task {task.tid}); "
+            "check the platform's accelerator composition"
+        )
+    live = np.fromiter((pe.available for pe in pes), dtype=bool, count=p)
+    if not live.all():
+        cand = cand & live
+        alive = cand.any(axis=1)
+        if not alive.all():
+            task = ready[int(np.argmin(alive))]
+            raise SchedulerError(
+                f"no live PE for API {task.api!r} (task {task.tid}); "
+                "the daemon should have parked this task until a PE revives"
+            )
+    banned_cols: Optional[dict] = None
+    for i, task in enumerate(ready):
+        if task.banned_pes:
+            if banned_cols is None:
+                banned_cols = {pe.index: j for j, pe in enumerate(pes)}
+            row = cand[i].copy()
+            for index in task.banned_pes:
+                col = banned_cols.get(index)
+                if col is not None:
+                    row[col] = False
+            if row.any():  # else: every candidate is banned - keep them all
+                cand[i] = row
+    return cand
+
+
+def estimate_matrix(
+    ready: Sequence["Task"],
+    pes: Sequence["PE"],
+    estimate: EstimateFn,
+    mask: np.ndarray,
+) -> np.ndarray:
+    """(n, p) float64 estimates with ``+inf`` at every non-candidate cell.
+
+    The columnar path gathers interned table rows; the fallback calls the
+    scalar ``estimate`` exactly where the old per-task loops did (masked
+    cells only), so both paths produce bit-identical matrices.
+    """
+    estimate_rows = getattr(estimate, "estimate_rows", None)
+    if estimate_rows is not None:
+        est = estimate_rows(ready)
+        return np.where(mask, est, np.inf)
+    est = np.full((len(ready), len(pes)), np.inf)
+    for i, task in enumerate(ready):
+        for j in np.flatnonzero(mask[i]):
+            est[i, j] = estimate(task, pes[j])
+    return est
+
+
+def free_vector(pes: Sequence["PE"], now: float) -> np.ndarray:
+    """(p,) vector of ``max(pe.expected_free, now)`` - round-start backlog."""
+    free = np.fromiter(
+        (pe.expected_free for pe in pes), dtype=np.float64, count=len(pes)
+    )
+    return np.maximum(free, now)
+
+
+def greedy_earliest_finish(
+    ready: Sequence["Task"],
+    pes: Sequence["PE"],
+    now: float,
+    estimate: EstimateFn,
+) -> list[tuple["Task", "PE"]]:
+    """Greedy earliest-finish assignment in the given task order.
+
+    The EFT heuristic, shared with HEFT_RT (which is exactly this after a
+    rank sort).  The old per-task inner loop over candidate PEs is one
+    vectorized add + argmin per row of the batched estimate matrix;
+    excluded cells sit at ``+inf``, and argmin picks the first of equal
+    minima exactly as the scalar ``<`` scan did.  Commits update
+    ``pe.expected_free`` so later rows see the backlog.
+    """
+    if not ready:
+        return []
+    mask = candidate_mask(ready, pes, estimate)
+    est = estimate_matrix(ready, pes, estimate, mask)
+    free = free_vector(pes, now)
+    assignments = []
+    for i, task in enumerate(ready):
+        finish = free + est[i]
+        j = int(np.argmin(finish))
+        best = float(finish[j])
+        free[j] = best
+        pe = pes[j]
+        pe.expected_free = best
+        assignments.append((task, pe))
+    return assignments
 
 
 _REGISTRY: dict[str, type[Scheduler]] = {}

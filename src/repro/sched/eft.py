@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from .base import EstimateFn, Scheduler, register_scheduler
+from .base import EstimateFn, Scheduler, greedy_earliest_finish, register_scheduler
 
 __all__ = ["EarliestFinishTime"]
 
@@ -28,18 +28,7 @@ class EarliestFinishTime(Scheduler):
         self.cost_per_eval_us = cost_per_eval_us
 
     def schedule(self, ready, pes: Sequence, now: float, estimate: EstimateFn):
-        assignments = []
-        for task in ready:
-            best_pe = None
-            best_finish = float("inf")
-            for pe in self.compatible(task, pes):
-                finish = max(pe.expected_free, now) + estimate(task, pe)
-                if finish < best_finish:
-                    best_finish = finish
-                    best_pe = pe
-            assignments.append((task, best_pe))
-            best_pe.expected_free = best_finish
-        return assignments
+        return greedy_earliest_finish(ready, pes, now, estimate)
 
     def round_cost(self, n_ready: int, n_pes: int) -> float:
         return self.cost_per_eval_us * 1e-6 * n_ready * n_pes

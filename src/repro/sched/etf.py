@@ -22,7 +22,14 @@ from typing import Sequence
 
 import numpy as np
 
-from .base import EstimateFn, Scheduler, register_scheduler
+from .base import (
+    EstimateFn,
+    Scheduler,
+    candidate_mask,
+    estimate_matrix,
+    free_vector,
+    register_scheduler,
+)
 
 __all__ = ["EarliestTaskFirst"]
 
@@ -40,31 +47,86 @@ class EarliestTaskFirst(Scheduler):
         n, p = len(ready), len(pes)
         if n == 0:
             return []
-        est = np.empty((n, p))
-        for i, task in enumerate(ready):
-            # Per-row candidate set honouring the fault subsystem's
-            # availability and ban masks (with the same ban fallback as
-            # Scheduler.compatible); everything else stays +inf so the
-            # argmin never commits to an excluded PE.
-            allowed = {pe.index for pe in self.compatible(task, pes)}
-            for j, pe in enumerate(pes):
-                if pe.index in allowed:
-                    est[i, j] = estimate(task, pe)
-                else:
-                    est[i, j] = np.inf
-        free = np.array([max(pe.expected_free, now) for pe in pes])
-        finish = free[None, :] + est  # (n, p); committed rows become +inf
+        # Candidate cells honour the fault subsystem's availability and ban
+        # masks (with the same ban fallback as Scheduler.compatible);
+        # everything else stays +inf so the argmin never commits to an
+        # excluded PE.  One columnar gather replaces the old per-task loops.
+        mask = candidate_mask(ready, pes, estimate)
+        est = estimate_matrix(ready, pes, estimate, mask)
+        free = free_vector(pes, now)
+        # Ready tasks collapse into equivalence classes with bitwise-equal
+        # estimate rows (shape interning keeps the count to a handful per
+        # round), and ETF's global pair scan only ever needs one
+        # representative per class: identical rows share a finish vector, so
+        # the flat argmin always lands on the class member with the lowest
+        # queue position.  Scanning classes instead of tasks turns each of
+        # the n commits into O(classes) work with an O(PEs) rescan only for
+        # classes whose cached best column just got busier (a later column
+        # can never *improve* a cached minimum).  Tie-breaking matches a
+        # flat argmin over the full matrix exactly: commits within a class
+        # go in queue order, and ties *across* classes fall to the class
+        # whose head task sits earliest in the queue.
+        row_bytes = est.tobytes()
+        stride = est.itemsize * p
+        class_of: dict[bytes, int] = {}
+        members: list[list[int]] = []
+        for i in range(n):
+            key = row_bytes[i * stride:(i + 1) * stride]
+            g = class_of.setdefault(key, len(members))
+            if g == len(members):
+                members.append([i])
+            else:
+                members[g].append(i)
+        n_cls = len(members)
+        # plain Python lists from here: the per-commit state is a handful of
+        # scalars, where numpy's per-call overhead would dominate
+        gest = [est[m[0]].tolist() for m in members]
+        free_l = free.tolist()
+        heads = [m[0] for m in members]
+        cursor = [0] * n_cls
+        inf = float("inf")
+        cols = range(p)
+        best_v = [0.0] * n_cls  # cached earliest finish of each class head
+        best_j = [0] * n_cls    # ... and its (first-minimum) PE column
+        for k in range(n_cls):
+            row = gest[k]
+            mv, mj = inf, 0
+            for jj in cols:
+                t = row[jj] + free_l[jj]
+                if t < mv:
+                    mv, mj = t, jj
+            best_v[k], best_j[k] = mv, mj
+        active = list(range(n_cls))
         assignments = []
         for _ in range(n):
-            flat = int(np.argmin(finish))
-            i, j = divmod(flat, p)
-            best = finish[i, j]
-            free[j] = best
+            # global pick: min (finish, head queue position) over classes
+            bk, bv, bh = -1, inf, -1
+            for k in active:
+                v = best_v[k]
+                if v < bv or (v == bv and heads[k] < bh):
+                    bk, bv, bh = k, v, heads[k]
+            k = bk
+            j = best_j[k]
+            i = members[k][cursor[k]]
+            cursor[k] += 1
+            free_l[j] = bv
             assignments.append((ready[i], pes[j]))
-            pes[j].expected_free = float(best)
-            est[i, :] = np.inf             # row committed: excluded from
-            finish[i, :] = np.inf          # both est and finish
-            finish[:, j] = free[j] + est[:, j]  # column backlog grew
+            pes[j].expected_free = bv
+            if cursor[k] == len(members[k]):
+                active.remove(k)  # class drained: excluded from the scan
+            else:
+                heads[k] = members[k][cursor[k]]
+            # column j's backlog grew: only classes whose cached minimum sat
+            # on column j can change, and only for the worse - rescan those
+            for m_ in active:
+                if best_j[m_] == j:
+                    row = gest[m_]
+                    mv, mj = inf, 0
+                    for jj in cols:
+                        t = row[jj] + free_l[jj]
+                        if t < mv:
+                            mv, mj = t, jj
+                    best_v[m_], best_j[m_] = mv, mj
         return assignments
 
     def round_cost(self, n_ready: int, n_pes: int) -> float:

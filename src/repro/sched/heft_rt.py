@@ -21,7 +21,7 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
-from .base import EstimateFn, Scheduler, register_scheduler
+from .base import EstimateFn, Scheduler, greedy_earliest_finish, register_scheduler
 
 __all__ = ["HeftRT", "upward_ranks"]
 
@@ -69,18 +69,7 @@ class HeftRT(Scheduler):
 
     def schedule(self, ready, pes: Sequence, now: float, estimate: EstimateFn):
         ordered = sorted(ready, key=lambda t: getattr(t, "rank", 0.0), reverse=True)
-        assignments = []
-        for task in ordered:
-            best_pe = None
-            best_finish = float("inf")
-            for pe in self.compatible(task, pes):
-                finish = max(pe.expected_free, now) + estimate(task, pe)
-                if finish < best_finish:
-                    best_finish = finish
-                    best_pe = pe
-            assignments.append((task, best_pe))
-            best_pe.expected_free = best_finish
-        return assignments
+        return greedy_earliest_finish(ordered, pes, now, estimate)
 
     def round_cost(self, n_ready: int, n_pes: int) -> float:
         if n_ready == 0:

@@ -13,7 +13,15 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from .base import EstimateFn, Scheduler, register_scheduler
+import numpy as np
+
+from .base import (
+    EstimateFn,
+    Scheduler,
+    candidate_mask,
+    estimate_matrix,
+    register_scheduler,
+)
 
 __all__ = ["MinimumExecutionTime"]
 
@@ -29,16 +37,23 @@ class MinimumExecutionTime(Scheduler):
         self._cursor: dict[float, int] = {}
 
     def schedule(self, ready, pes: Sequence, now: float, estimate: EstimateFn):
+        if not ready:
+            return []
+        mask = candidate_mask(ready, pes, estimate)
+        est = estimate_matrix(ready, pes, estimate, mask)
         assignments = []
-        for task in ready:
-            candidates = self.compatible(task, pes)
-            best = min(estimate(task, pe) for pe in candidates)
-            fastest = [pe for pe in candidates if estimate(task, pe) <= best * (1 + 1e-12)]
+        for i, task in enumerate(ready):
+            row = est[i]
+            best = float(row.min())
+            # excluded cells are +inf, so the epsilon tie-band only ever
+            # matches candidate PEs, in PE order like the old list filter
+            fastest = np.flatnonzero(row <= best * (1 + 1e-12))
             cursor = self._cursor.get(best, 0)
-            pe = fastest[cursor % len(fastest)]
+            j = int(fastest[cursor % len(fastest)])
             self._cursor[best] = cursor + 1
+            pe = pes[j]
             assignments.append((task, pe))
-            pe.expected_free = max(pe.expected_free, now) + estimate(task, pe)
+            pe.expected_free = max(pe.expected_free, now) + float(row[j])
         return assignments
 
     def round_cost(self, n_ready: int, n_pes: int) -> float:

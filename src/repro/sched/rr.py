@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from .base import EstimateFn, Scheduler, register_scheduler
+from .base import EstimateFn, Scheduler, candidate_mask, register_scheduler
 
 __all__ = ["RoundRobin"]
 
@@ -27,20 +27,25 @@ class RoundRobin(Scheduler):
         self.cost_per_task_us = cost_per_task_us
 
     def schedule(self, ready, pes: Sequence, now: float, estimate: EstimateFn):
+        if not ready:
+            return []
+        # One candidate matrix per round replaces the old per-task
+        # compatible() set rebuild; compatibility still composes the live
+        # support matrix *and* the fault subsystem's availability/ban masks,
+        # so a ZIP task skips over FFT accelerators and everything skips
+        # quarantined or dead PEs exactly like CEDR's dispatch loop.
+        mask = candidate_mask(ready, pes, estimate)
         assignments = []
         n = len(pes)
-        for task in ready:
-            # advance the cursor until a compatible PE comes up; compatibility
-            # is checked against the live support matrix *and* the fault
-            # subsystem's availability/ban masks, so a ZIP task skips over FFT
-            # accelerators and everything skips quarantined or dead PEs
-            # exactly like CEDR's dispatch loop.
-            allowed = {pe.index for pe in self.compatible(task, pes)}
+        for i, task in enumerate(ready):
+            allowed = mask[i]
+            # advance the cursor until a compatible PE comes up
             for _ in range(n):
-                pe = pes[self._cursor % n]
+                j = self._cursor % n
                 self._cursor += 1
-                if pe.index in allowed:
+                if allowed[j]:
                     break
+            pe = pes[j]
             assignments.append((task, pe))
             pe.expected_free = max(pe.expected_free, now) + estimate(task, pe)
         return assignments

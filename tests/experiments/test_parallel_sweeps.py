@@ -40,8 +40,23 @@ def test_resolve_jobs_negative_means_all_cores():
     assert resolve_jobs(-1) == (os.cpu_count() or 1)
 
 
-def test_resolve_jobs_clamps_to_one():
-    assert resolve_jobs(0) == 1
+def test_resolve_jobs_rejects_zero():
+    """0 is neither serial (1) nor all-cores (<= -1); silently coercing it
+    to serial used to mask buggy worker-count arithmetic in callers."""
+    with pytest.raises(ValueError, match="n_jobs"):
+        resolve_jobs(0)
+
+
+def test_resolve_jobs_rejects_zero_from_env(monkeypatch):
+    monkeypatch.setenv(JOBS_ENV, "0")
+    with pytest.raises(ValueError, match="n_jobs"):
+        resolve_jobs(None)
+
+
+def test_resolve_jobs_all_negative_mean_all_cores():
+    import os
+
+    assert resolve_jobs(-4) == (os.cpu_count() or 1)
 
 
 def test_resolve_jobs_rejects_garbage_env(monkeypatch):
