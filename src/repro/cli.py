@@ -108,6 +108,50 @@ def build_parser() -> argparse.ArgumentParser:
                      help="periodic telemetry snapshot interval, simulated "
                           "seconds (0 = final snapshot only; implies "
                           "telemetry collection even without --metrics-out)")
+    run.add_argument("--audit", action="store_true",
+                     help="enable the online schedule auditor: every "
+                          "scheduling round and task completion is checked "
+                          "against the invariant catalog as it happens, and "
+                          "the full catalog replays at shutdown")
+    run.add_argument("--logbook", metavar="PATH", default=None,
+                     help="write the run's logbook dump (schema-versioned "
+                          "JSON) to PATH; audit it later with "
+                          "'repro audit PATH'")
+
+    audit = sub.add_parser(
+        "audit",
+        help="audit a saved logbook, or diff paired sweep configurations",
+        description="With a logbook path: replay the invariant catalog "
+                    "over a saved run ('repro audit out/logbook.json'). "
+                    "With the literal target 'diff': run one sweep under "
+                    "paired configurations (serial vs --jobs, cached vs "
+                    "uncached, scalar vs vectorized estimates, telemetry "
+                    "on/off, audit on/off) and require bit-identical "
+                    "results.",
+    )
+    audit.add_argument("target",
+                       help="path to a logbook JSON dump, or 'diff' to run "
+                            "the differential oracle")
+    audit.add_argument("--platform", choices=PLATFORM_NAMES, default="zcu102",
+                       help="diff only: platform for the oracle sweep")
+    audit.add_argument("--apps", default="PD:1,TX:1",
+                       help="diff only: workload, comma list of NAME:COUNT")
+    audit.add_argument("--mode", choices=("dag", "api"), default="api")
+    audit.add_argument("--scheduler", default="etf")
+    audit.add_argument("--rates", type=int, default=4,
+                       help="diff only: injection-rate grid points")
+    audit.add_argument("--trials", type=int, default=2)
+    audit.add_argument("--seed", type=int, default=0)
+    audit.add_argument("--jobs", type=int, default=2,
+                       help="diff only: worker processes for the --jobs "
+                            "pairing")
+    audit.add_argument("--variants", default=None,
+                       help="diff only: comma list of pairings to run "
+                            "(default: all of jobs,cache,scalar,telemetry,"
+                            "audit)")
+    audit.add_argument("--execute", action="store_true",
+                       help="diff only: execute kernels functionally "
+                            "instead of timing-only")
 
     tel = sub.add_parser(
         "telemetry",
@@ -136,6 +180,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="force caching off, overriding $REPRO_CACHE")
     fig.add_argument("--cache-dir", metavar="DIR", default=None,
                      help="cache directory (implies --cache)")
+    fig.add_argument("--audit", action="store_true",
+                     help="run every sweep cell with the online schedule "
+                          "auditor on (sets $REPRO_AUDIT so --jobs worker "
+                          "processes inherit it); any invariant violation "
+                          "fails the figure")
     return parser
 
 
@@ -215,6 +264,7 @@ def _cmd_run(args) -> int:
             execute_kernels=not args.timing_only,
             faults=faults,
             telemetry=telemetry_cfg,
+            audit=args.audit,
         ),
     )
     runtime.start()
@@ -243,6 +293,16 @@ def _cmd_run(args) -> int:
               f"{result.tasks_lost} tasks lost, {result.n_failed} apps failed "
               f"(goodput {result.goodput:.2f}, MTTR "
               f"{result.mean_time_to_recovery * 1e3:.2f} ms)")
+    if args.audit:
+        # the run drained without the online auditor raising; count the
+        # checks it performed so "nothing fired" is distinguishable from
+        # "nothing ran"
+        print(f"audit     : ok ({runtime.auditor.checks} online checks, "
+              f"full catalog verified at shutdown)")
+    if args.logbook:
+        path = runtime.logbook.save(args.logbook)
+        print(f"logbook   : wrote {path} (audit offline with "
+              f"'repro audit {path}')")
     if args.metrics_out:
         from repro.telemetry import write_metrics
 
@@ -307,6 +367,73 @@ def _cmd_telemetry(args) -> int:
     return 0
 
 
+def _cmd_audit(args) -> int:
+    """Dispatch ``repro audit <logbook.json>`` / ``repro audit diff``."""
+    if args.target == "diff":
+        return _cmd_audit_diff(args)
+    from repro.audit import audit_logbook
+    from repro.runtime import Logbook
+
+    try:
+        logbook = Logbook.load(args.target)
+    except FileNotFoundError:
+        raise SystemExit(f"no logbook at {args.target!r}") from None
+    except ValueError as exc:
+        raise SystemExit(f"cannot load {args.target!r}: {exc}") from None
+    report = audit_logbook(logbook)
+    print(report.summary())
+    for violation in report.violations:
+        print(f"  - {violation}")
+    return 0 if report.ok else 1
+
+
+def _cmd_audit_diff(args) -> int:
+    """Run the differential oracle and print its per-variant verdicts."""
+    from repro.audit import DEFAULT_VARIANTS, diff_run
+    from repro.workload import paper_injection_rates
+
+    if args.variants is None:
+        variants = DEFAULT_VARIANTS
+    else:
+        variants = tuple(
+            v.strip() for v in args.variants.split(",") if v.strip()
+        )
+        unknown = set(variants) - set(DEFAULT_VARIANTS)
+        if unknown:
+            raise SystemExit(
+                f"unknown variant(s) {sorted(unknown)}; "
+                f"options: {','.join(DEFAULT_VARIANTS)}"
+            )
+    entries = tuple(
+        WorkloadEntry(APP_FACTORIES[name](), count)
+        for name, count in _parse_apps(args.apps)
+    )
+    workload = WorkloadSpec(name="audit-diff", entries=entries)
+    report = diff_run(
+        _make_audit_platform(args.platform),
+        workload,
+        args.mode,
+        list(paper_injection_rates(n=args.rates)),
+        args.scheduler,
+        trials=args.trials,
+        base_seed=args.seed,
+        execute=args.execute,
+        jobs=args.jobs,
+        variants=variants,
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def _make_audit_platform(name: str):
+    """Platform defaults for the oracle sweep (match the figure configs)."""
+    if name == "zcu102":
+        return zcu102(n_cpu=3, n_fft=1)
+    if name == "jetson":
+        return jetson(n_cpu=3)
+    return zcu102_biglittle(n_big=3, n_little=4, n_fft=1, n_mmult=0)
+
+
 def _resolve_figure_cache(args):
     """Translate the figure cache flags into a SweepCache / False / None."""
     from repro.experiments import SweepCache, resolve_cache
@@ -325,16 +452,27 @@ def _resolve_figure_cache(args):
 
 
 def _cmd_figure(args) -> int:
-    from repro.experiments import configure_cache
+    import os
+
+    from repro.experiments import AUDIT_ENV, configure_cache
 
     cache = _resolve_figure_cache(args)
     # pin the handle process-wide so every sweep a figure driver makes goes
     # through it (and its hit/miss counters), then restore on the way out
     previous_cache = configure_cache(cache)
+    previous_audit = os.environ.get(AUDIT_ENV)
+    if args.audit:
+        # the env var (not a config edit) so --jobs pool workers inherit it
+        os.environ[AUDIT_ENV] = "1"
     try:
         code = _run_figure(args)
     finally:
         configure_cache(previous_cache)
+        if args.audit:
+            if previous_audit is None:
+                os.environ.pop(AUDIT_ENV, None)
+            else:
+                os.environ[AUDIT_ENV] = previous_audit
     if cache:
         print(f"\ncache     : {cache.stats.summary()} "
               f"({cache.stats.stores} stored in {cache.root})")
@@ -404,6 +542,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "telemetry":
         return _cmd_telemetry(args)
+    if args.command == "audit":
+        return _cmd_audit(args)
     if args.command == "figure":
         return _cmd_figure(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

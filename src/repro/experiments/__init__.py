@@ -7,8 +7,10 @@ pytest-benchmark and prints the series tables.
 
 from .cache import CacheStats, SweepCache, cell_digest
 from .common import (
+    AUDIT_ENV,
     CACHE_ENV,
     RateSweep,
+    audit_from_env,
     configure_cache,
     resolve_cache,
     resolve_jobs,
@@ -35,6 +37,8 @@ __all__ = [
     "configure_cache",
     "resolve_cache",
     "CACHE_ENV",
+    "AUDIT_ENV",
+    "audit_from_env",
     "run_fig5",
     "saturated_reduction",
     "SATURATION_MBPS",

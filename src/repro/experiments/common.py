@@ -61,10 +61,20 @@ __all__ = [
     "resolve_jobs",
     "configure_cache",
     "resolve_cache",
+    "audit_from_env",
 ]
 
 #: environment variable holding the default worker-process count
 JOBS_ENV = "REPRO_JOBS"
+
+#: environment variable forcing the online schedule auditor on for every
+#: run ("1"/"true"/a path -> on, ""/"0"/"false"/"off"/"no" -> defer to the
+#: per-run config).  Applied *inside* :func:`run_once`, after the cell
+#: tuple is formed: worker processes inherit it through the pool
+#: environment, and cache digests stay stable because cells still carry
+#: the original config (auditing only observes, so a cached result is the
+#: same bits an audited simulation would produce).
+AUDIT_ENV = "REPRO_AUDIT"
 
 #: environment variable enabling the sweep cache ("1"/"true" -> default
 #: directory, any other non-empty value -> that directory, ""/"0" -> off)
@@ -146,6 +156,12 @@ def resolve_cache(cache: CacheArg = None) -> Optional[SweepCache]:
     return SweepCache(raw)
 
 
+def audit_from_env() -> bool:
+    """Whether ``REPRO_AUDIT`` asks for the online schedule auditor."""
+    raw = os.environ.get(AUDIT_ENV, "").strip().lower()
+    return raw not in ("", "0", "false", "off", "no")
+
+
 def run_once(
     platform: PlatformConfig,
     workload: WorkloadSpec,
@@ -161,6 +177,8 @@ def run_once(
         config = RuntimeConfig(scheduler=scheduler, execute_kernels=execute)
     else:
         config = config.with_scheduler(scheduler)
+    if not config.audit and audit_from_env():
+        config = config.with_audit()
     instance = platform.build(seed=seed)
     runtime = CedrRuntime(instance, config)
     runtime.start()

@@ -336,6 +336,14 @@ class CostTable:
         """(p,) boolean support vector of one task (a read-only view)."""
         return self._support[self.task_row(task)]
 
+    def support_cells(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Element-wise support probe: ``support[rows[i], cols[i]]``.
+
+        One fancy-indexed gather - the online auditor validates a whole
+        round's (task row, PE column) pairs at vector speed with it.
+        """
+        return self._support[rows, cols]
+
     def mean_estimate(self, api: str, params: Mapping[str, float]) -> float:
         """Mean estimate over supporting PEs (HEFT_RT rank seed)."""
         row = self.row(api, params)

@@ -106,6 +106,22 @@ class RuntimeConfig:
     #: and schedules no sampler timers - runs without telemetry are
     #: byte-identical to the pre-telemetry runtime.
     telemetry: Optional[TelemetryConfig] = None
+    #: online schedule auditing (repro.audit): every scheduling round and
+    #: task completion is checked against the invariant catalog as it
+    #: happens, and the full catalog replays at shutdown.  Auditing only
+    #: *observes* (it raises on damage, never mutates), so audited runs
+    #: produce bit-identical results; ``False`` constructs no auditor and
+    #: keeps the hot paths on one ``is None`` test each.
+    audit: bool = False
+    #: force the schedulers onto the scalar ``estimate(task, pe)`` reference
+    #: path instead of the columnar batched gathers.  Same floats by
+    #: construction (rows are priced by the scalar path) - this knob exists
+    #: so the differential oracle can *prove* it per run.
+    scalar_estimates: bool = False
+
+    def with_audit(self) -> "RuntimeConfig":
+        """Copy of this config with online schedule auditing switched on."""
+        return replace(self, audit=True)
 
     def with_telemetry(self, sample_interval_s: float = 0.0) -> "RuntimeConfig":
         """Copy of this config with telemetry collection switched on."""

@@ -76,6 +76,26 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["CedrRuntime", "RunMetrics", "EventQueue"]
 
 
+class _ScalarEstimate:
+    """Columnar-interface-free view of a :class:`CostTable`.
+
+    Schedulers probe their ``estimate`` argument for ``estimate_rows`` /
+    ``support_rows`` and take the vectorized fast path when present; this
+    wrapper hides both, forcing the scalar ``estimate(task, pe)`` reference
+    path (``RuntimeConfig.scalar_estimates`` - the differential oracle's
+    scalar-vs-vectorized pairing).  Same table, same interned rows, same
+    floats.
+    """
+
+    __slots__ = ("_table",)
+
+    def __init__(self, table: CostTable) -> None:
+        self._table = table
+
+    def __call__(self, task: Task, pe: PE) -> float:
+        return self._table(task, pe)
+
+
 @dataclass
 class RunMetrics:
     """Run-level aggregates with the paper's metric definitions.
@@ -178,8 +198,28 @@ class CedrRuntime:
         #: the schedulers' batched helpers gather whole rounds from it.  The
         #: table doubles as the scalar estimate(task, pe) callable.
         self.cost_table = CostTable(platform.timing, platform.pes)
+        #: what the schedulers see: the table itself (columnar fast paths)
+        #: or a wrapper that forces the scalar reference path.
+        self._sched_estimate = (
+            _ScalarEstimate(self.cost_table)
+            if config.scalar_estimates
+            else self.cost_table
+        )
         self._mean_cache: dict[int, float] = {}
         self.daemon_thread: Optional[SimThread] = None
+        #: online invariant checking (repro.audit); ``None`` keeps the
+        #: dispatch and completion hot paths on one ``is None`` test each.
+        if config.audit:
+            # Imported here: repro.audit consumes runtime records, so a
+            # module-level import would be circular.
+            from repro.audit.online import OnlineAuditor
+
+            self.auditor: Optional[OnlineAuditor] = OnlineAuditor(self)
+        else:
+            self.auditor = None
+        #: True once the daemon drained cleanly (shutdown bookkeeping ran);
+        #: gates the end-of-run audit pass in :meth:`run`.
+        self._drained = False
         #: fault injection + recovery state; ``None`` whenever the config
         #: carries no active fault model (the bit-identical fast path).
         self.faults: Optional[FaultInjector] = (
@@ -263,11 +303,16 @@ class CedrRuntime:
         """
         t0 = time.perf_counter()
         try:
-            return self.engine.run(until=until)
+            final_time = self.engine.run(until=until)
         finally:
             self.counters.record_run(
                 time.perf_counter() - t0, self.engine.events_processed
             )
+        if self.auditor is not None and self._drained:
+            # the daemon drained cleanly: replay the full invariant catalog
+            # over the finished run (raises AuditError on damage)
+            self.auditor.final_check(self)
+        return final_time
 
     # ------------------------------------------------------------------ #
     # surfaces used by workers / application threads
@@ -414,6 +459,7 @@ class CedrRuntime:
         # can be charged analytically instead of as simulated events.
         idle = max(0.0, self.metrics.makespan - self.platform.runtime_core.delivered)
         self.metrics.runtime_overhead_s += self.config.costs.idle_poll_duty * idle
+        self._drained = True
 
     def _handle_arrival(self, app: AppInstance) -> Generator[Request, Any, None]:
         costs = self.config.costs
@@ -509,7 +555,11 @@ class CedrRuntime:
     def _finish_app(self, app: AppInstance) -> Generator[Request, Any, None]:
         yield self._charge(self.config.costs.app_terminate_us)
         app.t_finish = self.engine.now
-        self.logbook.close_app(app.app_id, self.engine.now)
+        record = self.logbook.close_app(app.app_id, self.engine.now)
+        record.t_launch = app.t_launch
+        record.n_tasks = app.tasks_total
+        record.cancelled = app.cancelled
+        record.failed = app.failed
         self.counters.apps_completed += 1
         if self.telemetry is not None:
             self.telemetry.record_app_completed()
@@ -537,7 +587,11 @@ class CedrRuntime:
         self.logbook.record_round(now, len(batch))
         for pe in pes:
             pe.expected_free = now + pe.outstanding_est * pe.slowdown
-        assignments = self.scheduler.schedule(batch, pes, now, self.cost_table)
+        assignments = self.scheduler.schedule(batch, pes, now, self._sched_estimate)
+        if self.auditor is not None:
+            # validate the round before its assignments are committed, so a
+            # violation names the scheduler's decision, not its aftermath
+            self.auditor.on_round(batch, assignments, now)
         telemetry = self.telemetry
         for task, pe in assignments:
             task.state = TaskState.SCHEDULED

@@ -5,16 +5,32 @@ measurements during a run and writes them out when the shutdown IPC command
 arrives "for later offline analysis by the user".  :class:`Logbook` plays
 that role: task rows accumulate during the run and :meth:`serialize`
 produces the JSON-compatible structure an analysis notebook would consume.
+
+The dump is schema-versioned (:data:`SCHEMA_VERSION`) and round-trips:
+:meth:`Logbook.load` rebuilds a logbook from a saved dump so ``repro audit
+<logbook.json>`` can replay the invariant catalog (:mod:`repro.audit`)
+against a run that finished in another process, or last week.  Version 1
+dumps (pre-audit, without the attempt/cost-row/successor columns) still
+load; the missing columns take their documented defaults and the audit
+checks that need them skip.
 """
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass
+import json
+from dataclasses import asdict, dataclass, fields
+from pathlib import Path
 from typing import Any, Optional
 
 from .task import Task
 
-__all__ = ["TaskRecord", "AppRecord", "Logbook"]
+__all__ = ["TaskRecord", "AppRecord", "Logbook", "SCHEMA_VERSION"]
+
+#: current on-disk dump format.  2 added ``attempts``/``cost_row``/
+#: ``cost_token``/``successors`` to task rows and ``cancelled``/``failed``
+#: to app rows (the columns the audit layer's conservation, causality, and
+#: cost-row-freshness invariants consume).
+SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -31,6 +47,15 @@ class TaskRecord:
     t_scheduled: float
     t_start: float
     t_finish: float
+    #: retry attempts the fault layer charged before this completion.
+    attempts: int = 0
+    #: interned cost-table row + the table token guarding it (see
+    #: :class:`repro.platforms.timing.CostTable`); ``-1`` = never interned.
+    cost_row: int = -1
+    cost_token: int = -1
+    #: tids of DAG successors released by this completion (empty for API
+    #: calls) - what the causality invariant checks ordering against.
+    successors: tuple[int, ...] = ()
 
     @property
     def queue_wait(self) -> float:
@@ -53,6 +78,10 @@ class TaskRecord:
             t_scheduled=task.t_scheduled,
             t_start=task.t_start,
             t_finish=task.t_finish,
+            attempts=task.attempts,
+            cost_row=task.cost_row,
+            cost_token=task.cost_token,
+            successors=tuple(s.tid for s in task.successors),
         )
 
 
@@ -67,6 +96,10 @@ class AppRecord:
     t_launch: float = 0.0
     t_finish: Optional[float] = None
     n_tasks: int = 0
+    #: terminated early by the kill IPC command (DAG mode).
+    cancelled: bool = False
+    #: declared failed by the fault layer (a task exhausted its retries).
+    failed: bool = False
 
     @property
     def execution_time(self) -> float:
@@ -75,6 +108,23 @@ class AppRecord:
         if self.t_finish is None:
             raise ValueError(f"app {self.app_id} ({self.name}) never finished")
         return self.t_finish - self.t_arrival
+
+
+def _load_record(cls, row: dict[str, Any]):
+    """Build a record dataclass from a dump row, tolerating old schemas.
+
+    Unknown keys (a *newer* dump than this code) are rejected - silently
+    dropping columns would let an audit pass on data it never saw - while
+    missing keys fall back to the dataclass defaults (older dumps).
+    """
+    known = {f.name for f in fields(cls)}
+    unknown = set(row) - known
+    if unknown:
+        raise ValueError(
+            f"{cls.__name__} dump carries unknown columns {sorted(unknown)}; "
+            f"refusing to audit a newer schema than this build understands"
+        )
+    return cls(**row)
 
 
 class Logbook:
@@ -107,6 +157,7 @@ class Logbook:
     def serialize(self) -> dict[str, Any]:
         """JSON-compatible dump (what CEDR writes at shutdown)."""
         return {
+            "schema": SCHEMA_VERSION,
             "tasks": [asdict(t) for t in self.tasks],
             "apps": [asdict(a) for a in self.apps.values()],
             "rounds": [list(r) for r in self.rounds],
@@ -114,12 +165,36 @@ class Logbook:
 
     def save(self, path) -> str:
         """Write :meth:`serialize` as JSON to *path* (the shutdown dump)."""
-        import json
-        from pathlib import Path
-
         path = Path(path)
         path.write_text(json.dumps(self.serialize(), indent=2), encoding="utf-8")
         return str(path)
+
+    @classmethod
+    def from_dict(cls, dump: dict[str, Any]) -> "Logbook":
+        """Rebuild a logbook from a :meth:`serialize` dump."""
+        schema = dump.get("schema", 1)  # v1 dumps predate the version key
+        if not isinstance(schema, int) or schema < 1 or schema > SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported logbook schema {schema!r} "
+                f"(this build reads 1..{SCHEMA_VERSION})"
+            )
+        book = cls(enabled=True)
+        for row in dump.get("tasks", []):
+            row = dict(row)
+            if "successors" in row:
+                row["successors"] = tuple(row["successors"])
+            book.tasks.append(_load_record(TaskRecord, row))
+        for row in dump.get("apps", []):
+            record = _load_record(AppRecord, dict(row))
+            book.apps[record.app_id] = record
+        book.rounds = [(float(t), int(d)) for t, d in dump.get("rounds", [])]
+        return book
+
+    @classmethod
+    def load(cls, path) -> "Logbook":
+        """Read a :meth:`save` dump back; inverse of the shutdown write."""
+        dump = json.loads(Path(path).read_text(encoding="utf-8"))
+        return cls.from_dict(dump)
 
     def tasks_by_pe(self) -> dict[str, int]:
         """Per-PE executed-task histogram (quick load-balance view)."""

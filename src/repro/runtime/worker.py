@@ -205,6 +205,9 @@ def worker_body(runtime: "CedrRuntime", pe: "PE") -> Generator[Request, Any, Non
         runtime.counters.record_task(pe.name, task.api, task.service_time)
         if runtime.telemetry is not None:
             runtime.telemetry.record_task(pe.name, task.service_time)
+        if runtime.auditor is not None:
+            # exactly-once / overlap / timestamp checks at the source
+            runtime.auditor.on_complete(task, pe, engine.now)
         runtime.logbook.record_task(task)
 
         if task.completion is not None:

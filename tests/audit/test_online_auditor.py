@@ -1,0 +1,206 @@
+"""Online auditor tests: bad schedules die at dispatch, clean runs don't pay.
+
+The offline catalog (test_invariants.py) proves the checks exist; this file
+proves the *online* hook-up: a misbehaving scheduler is caught inside the
+very scheduling round that emits the bad assignment (the simulation stops
+there, via the engine's exception propagation), completions are policed as
+the workers record them, and an audited run is bit-identical to an
+unaudited one because auditing only observes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import PulseDoppler
+from repro.audit import AuditViolation, OnlineAuditor, audit_runtime
+from repro.experiments import run_once
+from repro.platforms import zcu102
+from repro.runtime import CedrRuntime, RuntimeConfig
+from repro.workload import radar_comms_workload
+
+
+def _audited_runtime(scheduler="etf", seed=9, **cfg):
+    platform = zcu102(n_cpu=3, n_fft=1).build(seed=seed)
+    config = RuntimeConfig(scheduler=scheduler, execute_kernels=False,
+                           audit=True, **cfg)
+    return CedrRuntime(platform, config)
+
+
+def _submit_pd(runtime, mode="dag", seed=9):
+    rng = np.random.default_rng(seed)
+    runtime.start()
+    runtime.submit(PulseDoppler(batch=16).make_instance(mode, rng), at=0.0)
+    runtime.seal()
+
+
+class _EvilScheduler:
+    """Wraps a real scheduler but corrupts its assignment list."""
+
+    def __init__(self, inner, corrupt):
+        self._inner = inner
+        self._corrupt = corrupt
+
+    def round_cost(self, n_tasks, n_pes):
+        return self._inner.round_cost(n_tasks, n_pes)
+
+    def schedule(self, batch, pes, now, estimate):
+        return self._corrupt(
+            self._inner.schedule(batch, pes, now, estimate), batch, pes
+        )
+
+
+# --------------------------------------------------------------------- #
+# dispatch-time violations stop the run at the offending round
+# --------------------------------------------------------------------- #
+
+def test_unsupported_assignment_raises_at_dispatch():
+    """Forcing every task (cpu_op included) onto the FFT accelerator must
+    die inside the first round that tries it, not at shutdown."""
+    runtime = _audited_runtime()
+    fft_pe = next(pe for pe in runtime.platform.pes if pe.kind.value == "fft")
+
+    def onto_fft(assignments, batch, pes):
+        return [(task, fft_pe) for task, _ in assignments]
+
+    runtime.scheduler = _EvilScheduler(runtime.scheduler, onto_fft)
+    _submit_pd(runtime)
+    with pytest.raises(AuditViolation) as ei:
+        runtime.run()
+    assert ei.value.code == "pe-support"
+    assert ei.value.pe == fft_pe.name
+
+
+def test_dropped_assignment_raises_queue_accounting():
+    def drop_one(assignments, batch, pes):
+        return assignments[:-1]
+
+    runtime = _audited_runtime()
+    runtime.scheduler = _EvilScheduler(runtime.scheduler, drop_one)
+    _submit_pd(runtime)
+    with pytest.raises(AuditViolation) as ei:
+        runtime.run()
+    assert ei.value.code == "queue-accounting"
+    assert "dropped or invented" in str(ei.value)
+
+
+def test_honest_scheduler_passes_and_counts_checks():
+    runtime = _audited_runtime()
+    _submit_pd(runtime)
+    runtime.run()
+    assert runtime.auditor is not None
+    # every scheduling round and every completion was inspected
+    assert runtime.auditor.checks >= len(runtime.logbook.rounds) + len(
+        runtime.logbook.tasks
+    )
+    assert audit_runtime(runtime).ok
+
+
+# --------------------------------------------------------------------- #
+# hook-level checks (driven directly, no simulation)
+# --------------------------------------------------------------------- #
+
+def test_on_complete_rejects_double_completion():
+    runtime = _audited_runtime()
+    auditor = OnlineAuditor(runtime)
+    pe = runtime.platform.pes[0]
+
+    class _T:  # the minimal task shape on_complete reads
+        tid, name, api = 1, "t1", "fft"
+        t_release, t_scheduled, t_start = 0.0, 0.1, 0.2
+
+    auditor.on_complete(_T, pe, 0.3)
+    with pytest.raises(AuditViolation) as ei:
+        auditor.on_complete(_T, pe, 0.4)
+    assert ei.value.code == "exactly-once"
+
+
+def test_on_complete_rejects_overlap_on_same_pe():
+    runtime = _audited_runtime()
+    auditor = OnlineAuditor(runtime)
+    pe = runtime.platform.pes[0]
+
+    class _A:
+        tid, name, api = 1, "a", "fft"
+        t_release, t_scheduled, t_start = 0.0, 0.0, 0.1
+
+    class _B:
+        tid, name, api = 2, "b", "fft"
+        t_release, t_scheduled, t_start = 0.0, 0.0, 0.2
+
+    auditor.on_complete(_A, pe, 0.5)       # pe busy until 0.5
+    with pytest.raises(AuditViolation) as ei:
+        auditor.on_complete(_B, pe, 0.6)   # ... but B started at 0.2
+    assert ei.value.code == "pe-exclusive"
+
+
+def test_on_complete_rejects_regressing_timestamps():
+    runtime = _audited_runtime()
+    auditor = OnlineAuditor(runtime)
+    pe = runtime.platform.pes[0]
+
+    class _T:
+        tid, name, api = 1, "t", "fft"
+        t_release, t_scheduled, t_start = 0.0, 0.3, 0.2  # start < scheduled
+
+    with pytest.raises(AuditViolation) as ei:
+        auditor.on_complete(_T, pe, 0.4)
+    assert ei.value.code == "clock-monotonic"
+
+
+def test_on_round_rejects_stale_cost_token():
+    runtime = _audited_runtime()
+    auditor = OnlineAuditor(runtime)
+    pe = runtime.platform.pes[0]
+
+    class _T:
+        tid, name, api = 1, "t", "fft"
+        cost_row, cost_token = 0, runtime.cost_table.token - 1
+
+    with pytest.raises(AuditViolation) as ei:
+        auditor.on_round([_T], [(_T, pe)], 0.0)
+    assert ei.value.code == "cost-row-fresh"
+    assert "another table" in str(ei.value)
+
+
+def test_on_round_rejects_backwards_round_time():
+    runtime = _audited_runtime()
+    auditor = OnlineAuditor(runtime)
+    auditor.on_round([], [], 1.0)
+    with pytest.raises(AuditViolation) as ei:
+        auditor.on_round([], [], 0.5)
+    assert ei.value.code == "round-monotonic"
+
+
+def test_final_check_is_idempotent():
+    runtime = _audited_runtime()
+    _submit_pd(runtime)
+    runtime.run()  # runs final_check internally on the drained runtime
+    report = runtime.auditor.final_check(runtime)
+    assert report.ok
+    assert runtime.auditor.final_check(runtime).ok  # and again
+
+
+# --------------------------------------------------------------------- #
+# observe-only: audited == unaudited, bit for bit
+# --------------------------------------------------------------------- #
+
+@pytest.mark.no_auto_audit
+def test_audited_run_bit_identical_to_unaudited():
+    """The acceptance bar for ``audit=True`` by default in the suite:
+    flipping the flag changes not one field of the result."""
+    platform = zcu102(n_cpu=3, n_fft=1)
+    workload = radar_comms_workload(n_pd=2, n_tx=2)
+    plain = run_once(platform, workload, "api", 150.0, "etf", seed=4)
+    audited = run_once(
+        platform, workload, "api", 150.0, "etf", seed=4,
+        config=RuntimeConfig(scheduler="etf", execute_kernels=False,
+                             audit=True),
+    )
+    assert plain == audited
+
+
+@pytest.mark.no_auto_audit
+def test_unaudited_runtime_builds_no_auditor():
+    platform = zcu102(n_cpu=3, n_fft=1).build(seed=1)
+    runtime = CedrRuntime(platform, RuntimeConfig(scheduler="rr"))
+    assert runtime.auditor is None

@@ -1,12 +1,61 @@
-"""Shared fixtures for the reproduction's test suite."""
+"""Shared fixtures for the reproduction's test suite.
+
+Besides the platform/application fixtures, this conftest installs the
+**suite-wide online auditor**: an autouse fixture rebuilds every
+:class:`~repro.runtime.CedrRuntime` constructed by any test with
+``RuntimeConfig(audit=True)``, so each of the suite's hundreds of simulated
+runs is also an invariant-checking run (causality, exactly-once, PE
+support/exclusivity, bookkeeping consistency - see ``repro.audit``).  A
+scheduling bug anywhere now fails loudly at its first dispatch instead of
+silently skewing a figure.  Tests that must control the audit flag
+themselves (e.g. the disabled-run byte-identity pins) opt out with
+``@pytest.mark.no_auto_audit``.
+"""
 
 from __future__ import annotations
+
+import dataclasses
 
 import numpy as np
 import pytest
 
 from repro.apps import LaneDetection, PulseDoppler, WifiTx
 from repro.platforms import jetson, zcu102
+from repro.runtime.daemon import CedrRuntime
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "no_auto_audit: build CedrRuntimes with the config's own audit flag "
+        "instead of force-enabling the online auditor",
+    )
+
+
+_original_runtime_init = CedrRuntime.__init__
+
+
+@pytest.fixture(autouse=True)
+def _auto_audit(request, monkeypatch):
+    """Force the online schedule auditor on for every runtime in the suite.
+
+    In-process only: runtimes built inside ``--jobs`` worker processes keep
+    their cell's config (their results are diffed bit-exactly against
+    audited in-process runs by the determinism tests, which is its own
+    check).  Auditing observes and raises - it never mutates - so forcing
+    it on cannot change any result a test asserts about.
+    """
+    if request.node.get_closest_marker("no_auto_audit"):
+        yield
+        return
+
+    def audited_init(self, platform, config, *args, **kwargs):
+        if not config.audit:
+            config = dataclasses.replace(config, audit=True)
+        _original_runtime_init(self, platform, config, *args, **kwargs)
+
+    monkeypatch.setattr(CedrRuntime, "__init__", audited_init)
+    yield
 
 
 @pytest.fixture

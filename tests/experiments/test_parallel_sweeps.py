@@ -9,6 +9,7 @@ figure value) plus the ``n_jobs`` resolution rules.
 
 import pytest
 
+from repro.audit import assert_identical
 from repro.experiments import resolve_jobs, run_trials, sweep_rates
 from repro.experiments.common import JOBS_ENV
 from repro.platforms import zcu102
@@ -93,7 +94,11 @@ def test_parallel_sweep_identical_to_serial():
 
 
 def test_parallel_trials_identical_to_serial():
-    """run_trials returns the same RunResult list under sharding."""
+    """run_trials returns the same RunResult list under sharding.
+
+    assert_identical (repro.audit.oracle) diffs cell by cell and names the
+    drifted fields on failure - the part a bare ``parallel == serial``
+    never reported."""
     platform = zcu102(n_cpu=3, n_fft=1)
     workload = radar_comms_workload()
     serial = run_trials(
@@ -102,7 +107,7 @@ def test_parallel_trials_identical_to_serial():
     parallel = run_trials(
         platform, workload, "dag", 200.0, "heft_rt", trials=3, base_seed=0, n_jobs=3
     )
-    assert parallel == serial
+    assert_identical([serial, parallel], ["serial", "jobs=3"])
 
 
 def test_single_cell_grid_stays_serial():

@@ -14,6 +14,7 @@ import json
 import pytest
 
 from repro.apps import PulseDoppler
+from repro.audit import diff_results
 from repro.experiments import (
     CACHE_ENV,
     SweepCache,
@@ -144,7 +145,8 @@ def test_round_trip_hit_is_bit_identical(tmp_path):
     assert cache.put(cell, result) is True
     assert cache.stats.stores == 1
     loaded = cache.get(cell)
-    assert loaded == result          # frozen-dataclass equality: every field
+    # field-by-field diff (repro.audit.oracle): names any drifted field
+    assert diff_results(loaded, result) == []
     assert cache.stats.hits == 1 and cache.stats.misses == 1
 
 

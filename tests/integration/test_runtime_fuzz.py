@@ -6,15 +6,25 @@ respected in simulated time, (b) every task executed exactly once on a
 supporting PE, and (c) a bit-identical result to a sequential NumPy
 evaluation of the same graph.  This is the strongest general statement of
 the runtime's correctness contract.
+
+Two more fuzz surfaces ride on the audit layer (``repro.audit``): random
+libCEDR call mixes (blocking/``_nb`` x ``wait_all``/``wait_any`` drain
+orders) and random fault streams (rate x kind mix), each simulated with
+the online auditor armed - any dispatch that breaks the invariant catalog
+aborts the run at the offending round.
 """
 
 import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.apps import PulseDoppler
+from repro.audit import audit_runtime
+from repro.core import wait_all, wait_any
 from repro.dag import DagBuilder
+from repro.faults import FaultConfig
 from repro.platforms import zcu102
-from repro.runtime import AppInstance, CedrRuntime, RuntimeConfig
+from repro.runtime import API_MODE, AppInstance, CedrRuntime, RuntimeConfig
 
 N = 32  # vector length for all kernel payloads
 
@@ -100,3 +110,128 @@ def test_random_dags_run_correctly_on_every_scheduler(layers, seed, scheduler):
     expected = numpy_eval(layers, data)
     for wi, key in leaf_keys.items():
         assert np.allclose(app.state[key], expected[wi], atol=1e-8)
+
+
+# --------------------------------------------------------------------- #
+# fuzzing the libCEDR call surface: random blocking/_nb mixes and
+# random synchronization (drain) orders, audited end to end
+# --------------------------------------------------------------------- #
+
+@st.composite
+def api_call_plans(draw):
+    """A random sequence of libCEDR calls: which API, blocking or ``_nb``,
+    and how the in-flight window is drained at the end."""
+    n_calls = draw(st.integers(1, 5))
+    calls = [
+        (
+            draw(st.sampled_from(["fft", "ifft", "zip", "gemm"])),
+            draw(st.booleans()),  # blocking?
+        )
+        for _ in range(n_calls)
+    ]
+    drain = draw(st.sampled_from(["wait_all", "wait_any"]))
+    return calls, drain
+
+
+def make_api_main(calls, drain, vec, a, b):
+    """Application main exercising the drawn call plan.
+
+    Results are keyed by call index so wait_any's completion-order drain
+    still lets every call be verified against its own reference value.
+    """
+    def main(lib):
+        results = {}
+        pending, pending_idx = [], []
+        for i, (api, blocking) in enumerate(calls):
+            args = (vec,) if api in ("fft", "ifft") else (
+                (vec, vec) if api == "zip" else (a, b)
+            )
+            if blocking:
+                results[i] = yield from getattr(lib, api)(*args)
+            else:
+                req = yield from getattr(lib, api + "_nb")(*args)
+                pending.append(req)
+                pending_idx.append(i)
+        if drain == "wait_all":
+            outs = yield from wait_all(pending)
+            results.update(zip(pending_idx, outs))
+        else:
+            while pending:
+                k, out = yield from wait_any(pending)
+                results[pending_idx[k]] = out
+                pending.pop(k)
+                pending_idx.pop(k)
+        return results
+    return main
+
+
+@given(plan=api_call_plans(), seed=st.integers(0, 2**20),
+       scheduler=st.sampled_from(["rr", "eft", "etf", "heft_rt"]))
+@settings(max_examples=25, deadline=None)
+def test_random_api_call_mixes_run_correctly_audited(plan, seed, scheduler):
+    calls, drain = plan
+    rng = np.random.default_rng(seed)
+    vec = rng.normal(size=N) + 1j * rng.normal(size=N)
+    a = rng.normal(size=(6, 4))
+    b = rng.normal(size=(4, 5))
+
+    platform = zcu102(n_cpu=3, n_fft=1).build(seed=seed)
+    config = RuntimeConfig(scheduler=scheduler, audit=True)
+    runtime = CedrRuntime(platform, config)
+    runtime.start()
+    app = AppInstance(name="api-fuzz", mode=API_MODE, frame_mb=0.1,
+                      main_factory=make_api_main(calls, drain, vec, a, b))
+    runtime.submit(app, at=0.0)
+    runtime.seal()
+    runtime.run()  # online auditor + final catalog replay raise on damage
+
+    expected = {
+        "fft": lambda: np.fft.fft(vec),
+        "ifft": lambda: np.fft.ifft(vec),
+        "zip": lambda: vec * vec,
+        "gemm": lambda: a @ b,
+    }
+    assert set(app.result) == set(range(len(calls)))
+    for i, (api, _) in enumerate(calls):
+        assert np.allclose(app.result[i], expected[api](), atol=1e-8)
+    assert runtime.auditor is not None and runtime.auditor.checks > 0
+    assert audit_runtime(runtime).ok
+
+
+# --------------------------------------------------------------------- #
+# fuzzing fault streams: random rate/kind mixes must never break the
+# invariant catalog (conservation under retries, quarantine honesty, ...)
+# --------------------------------------------------------------------- #
+
+@given(rate=st.sampled_from([5.0, 20.0, 60.0]),
+       kinds=st.sets(
+           st.sampled_from(["transient", "hang", "slowdown", "failstop"]),
+           min_size=1),
+       seed=st.integers(0, 2**16),
+       scheduler=st.sampled_from(["rr", "eft", "etf"]))
+@settings(max_examples=15, deadline=None)
+def test_random_fault_streams_hold_the_invariant_catalog(
+        rate, kinds, seed, scheduler):
+    faults = FaultConfig(
+        rate=rate, seed=seed,
+        kinds=FaultConfig.parse_kinds(",".join(sorted(kinds))),
+    )
+    platform = zcu102(n_cpu=3, n_fft=1).build(seed=seed)
+    config = RuntimeConfig(scheduler=scheduler, execute_kernels=False,
+                           audit=True, faults=faults)
+    runtime = CedrRuntime(platform, config)
+    runtime.start()
+    rng = np.random.default_rng(seed)
+    pd = PulseDoppler(batch=16)
+    runtime.submit(pd.make_instance("dag", rng), at=0.0)
+    runtime.submit(pd.make_instance("api", rng), at=0.001)
+    runtime.seal()
+    runtime.run()  # every round/completion audited; final_check replays
+
+    report = audit_runtime(runtime)
+    assert report.ok, report.summary()
+    assert runtime.auditor.checks > 0
+    # under faults the ledger still balances: losses == failed apps
+    counters = runtime.counters
+    failed = sum(1 for a in runtime.apps.values() if a.failed)
+    assert counters.tasks_lost == failed

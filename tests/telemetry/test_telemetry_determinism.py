@@ -9,12 +9,12 @@ Two pins:
   a telemetry-enabled run of the same cell.
 """
 
-import dataclasses
 import json
 
 import pytest
 
 from repro.apps import PulseDoppler, WifiTx
+from repro.audit import assert_identical, diff_results
 from repro.experiments import run_once, run_trials
 from repro.runtime import RuntimeConfig
 from repro.telemetry import TelemetryConfig
@@ -40,7 +40,7 @@ def test_snapshots_bit_identical_serial_vs_process_pool(zcu_small):
                         trials=2, base_seed=0, config=INSTRUMENTED, n_jobs=1)
     pooled = run_trials(zcu_small, TINY, "api", 200.0, "eft",
                         trials=2, base_seed=0, config=INSTRUMENTED, n_jobs=2)
-    assert serial == pooled
+    assert_identical([serial, pooled], ["serial", "pooled"])
     for s, p in zip(serial, pooled):
         assert s.telemetry is not None
         assert s.telemetry["samples"], "periodic sampler produced no snapshots"
@@ -59,10 +59,7 @@ def test_recording_never_perturbs_the_run(zcu_small):
     )
     assert plain.telemetry is None
     assert metered.telemetry is not None
-    a = dataclasses.asdict(plain)
-    b = dataclasses.asdict(metered)
-    a.pop("telemetry"), b.pop("telemetry")
-    assert a == b
+    assert diff_results(plain, metered, ignore=("telemetry",)) == []
 
 
 def test_sampler_timers_drift_at_most_float_reassociation(zcu_small):
@@ -86,7 +83,8 @@ def test_disabled_config_is_bit_identical_to_no_config(zcu_small):
                              telemetry=TelemetryConfig(enabled=False,
                                                        sample_interval_s=0.005)),
     )
-    assert plain == gated  # includes telemetry=None on both sides
+    # no drifted fields at all - includes telemetry=None on both sides
+    assert diff_results(plain, gated) == []
 
 
 def test_repeated_instrumented_runs_reproduce(zcu_small):
