@@ -42,7 +42,7 @@ __all__ = [
 ]
 
 #: every paired configuration :func:`diff_run` knows how to produce.
-DEFAULT_VARIANTS = ("jobs", "cache", "scalar", "telemetry", "audit")
+DEFAULT_VARIANTS = ("jobs", "cache", "scalar", "telemetry", "audit", "event_core")
 
 _RESULT_FIELDS = tuple(f.name for f in dataclasses.fields(RunResult))
 
@@ -267,6 +267,13 @@ def diff_run(
             )
         elif variant == "audit":
             cfg = dataclasses.replace(base_config, audit=True)
+            outcomes.append(_compare(variant, baseline, grid(cfg)))
+        elif variant == "event_core":
+            # Flip the simulator timer queue to the *other* implementation;
+            # heap and wheel pop in identical (when, seq) order by
+            # construction, so every cell must be bit-identical.
+            other = "heap" if base_config.event_core == "wheel" else "wheel"
+            cfg = base_config.with_event_core(other)
             outcomes.append(_compare(variant, baseline, grid(cfg)))
     return OracleReport(
         label=f"{platform.name}/{workload.name}/{mode}/{scheduler}",

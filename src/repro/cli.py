@@ -80,6 +80,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--timing-only", action="store_true",
                      help="skip functional kernel execution")
+    run.add_argument("--event-core", choices=("heap", "wheel"), default="wheel",
+                     help="simulator timer-queue implementation: calendar-"
+                          "queue timer wheel (default) or the reference "
+                          "binary heap; results are bit-identical either way")
     run.add_argument("--energy", action="store_true", help="print an energy estimate")
     run.add_argument("--trace", metavar="PATH", default=None,
                      help="write a Chrome trace (chrome://tracing) to PATH")
@@ -126,8 +130,8 @@ def build_parser() -> argparse.ArgumentParser:
                     "With the literal target 'diff': run one sweep under "
                     "paired configurations (serial vs --jobs, cached vs "
                     "uncached, scalar vs vectorized estimates, telemetry "
-                    "on/off, audit on/off) and require bit-identical "
-                    "results.",
+                    "on/off, audit on/off, heap vs wheel event core) and "
+                    "require bit-identical results.",
     )
     audit.add_argument("target",
                        help="path to a logbook JSON dump, or 'diff' to run "
@@ -148,7 +152,7 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--variants", default=None,
                        help="diff only: comma list of pairings to run "
                             "(default: all of jobs,cache,scalar,telemetry,"
-                            "audit)")
+                            "audit,event_core)")
     audit.add_argument("--execute", action="store_true",
                        help="diff only: execute kernels functionally "
                             "instead of timing-only")
@@ -265,6 +269,7 @@ def _cmd_run(args) -> int:
             faults=faults,
             telemetry=telemetry_cfg,
             audit=args.audit,
+            event_core=args.event_core,
         ),
     )
     runtime.start()

@@ -118,6 +118,16 @@ class RuntimeConfig:
     #: construction (rows are priced by the scalar path) - this knob exists
     #: so the differential oracle can *prove* it per run.
     scalar_estimates: bool = False
+    #: simulator timer-queue implementation: ``"wheel"`` (calendar-queue
+    #: timer wheel, the default) or ``"heap"`` (the original global binary
+    #: heap).  Identical ``(when, seq)`` pop order by construction, hence
+    #: bit-identical results - the differential oracle's ``event_core``
+    #: variant axis proves it per run (``repro audit diff``).
+    event_core: str = "wheel"
+
+    def with_event_core(self, kind: str) -> "RuntimeConfig":
+        """Copy of this config running on the given simulator event core."""
+        return replace(self, event_core=kind)
 
     def with_audit(self) -> "RuntimeConfig":
         """Copy of this config with online schedule auditing switched on."""

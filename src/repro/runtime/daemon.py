@@ -157,6 +157,10 @@ class CedrRuntime:
         self.platform = platform
         self.config = config
         self.engine = platform.engine
+        # Select the simulator timer-queue implementation before any timers
+        # exist (migration is exact either way, but this keeps it trivial).
+        if config.event_core != self.engine.event_core:
+            self.engine.set_event_core(config.event_core)
         self.scheduler: Scheduler = make_scheduler(config.scheduler)
         #: bookkeeping costs are referenced to the ZCU102's 1.2 GHz cores
         self.cost_scale = 1.2 / platform.timing.cpu_clock_ghz
@@ -180,6 +184,10 @@ class CedrRuntime:
         self.counters = PerfCounters(
             enabled=config.enable_perf_counters, telemetry=self.telemetry
         )
+        if self.telemetry is not None:
+            # Bridge engine-side late-timer clamps into the metric registry.
+            # Plain state mutation (no events), so runs stay bit-identical.
+            self.engine.on_late_timer = self.telemetry.late_timers.inc
         self.logbook = Logbook(enabled=config.log_tasks)
         self.metrics = RunMetrics()
         self.noise_rng = (
@@ -308,6 +316,7 @@ class CedrRuntime:
             self.counters.record_run(
                 time.perf_counter() - t0, self.engine.events_processed
             )
+            self.counters.record_event_core(self.engine.event_core_stats())
         if self.auditor is not None and self._drained:
             # the daemon drained cleanly: replay the full invariant catalog
             # over the finished run (raises AuditError on damage)

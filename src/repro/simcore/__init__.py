@@ -6,7 +6,7 @@ CPU cores, and accelerator devices on which both the DAG-based and API-based
 CEDR runtimes execute.
 """
 
-from .cores import Core, Device
+from .cores import CompletionIndex, Core, Device
 from .engine import Engine
 from .errors import SimDeadlock, SimError, SimStateError, SimTimeError
 from .process import (
@@ -22,11 +22,24 @@ from .process import (
 )
 from .rng import child_rng, make_rng, spawn_rngs
 from .sync import Condition, Mutex, Semaphore, SimQueue
+from .timerwheel import (
+    DEFAULT_EVENT_CORE,
+    EVENT_CORES,
+    HeapTimerQueue,
+    TimerWheel,
+    make_timer_queue,
+)
 
 __all__ = [
     "Engine",
     "Core",
+    "CompletionIndex",
     "Device",
+    "TimerWheel",
+    "HeapTimerQueue",
+    "make_timer_queue",
+    "EVENT_CORES",
+    "DEFAULT_EVENT_CORE",
     "SimThread",
     "ThreadState",
     "Request",

@@ -41,8 +41,11 @@ scalability results.
 from __future__ import annotations
 
 import heapq
+import math
 from collections import deque
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Optional, Sequence
+
+import numpy as np
 
 from .errors import SimStateError
 
@@ -50,7 +53,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from .engine import Engine
     from .process import SimThread
 
-__all__ = ["Core", "Device"]
+__all__ = ["Core", "CompletionIndex", "Device"]
 
 #: Remaining-work threshold below which a compute segment counts as finished.
 #: Guards against float round-off leaving 1e-18 core-seconds of zombie work.
@@ -88,7 +91,7 @@ class Core:
         "speed",
         "cs_alpha",
         "_spinners",
-        "running",
+        "_nrun",
         "delivered",
         "busy_time",
         "_virtual",
@@ -96,6 +99,9 @@ class Core:
         "_seq",
         "_completion_at",
         "_completion_dirty",
+        "_load",
+        "_cidx",
+        "_cpos",
     )
 
     def __init__(
@@ -111,8 +117,11 @@ class Core:
         self.speed = speed
         self.cs_alpha = cs_alpha
         self._spinners = spinners
-        #: runnable thread -> virtual-clock instant its segment finishes
-        self.running: dict["SimThread", float] = {}
+        #: number of threads with an active segment here; the thread ->
+        #: finish-virtual mapping lives on the threads themselves
+        #: (``SimThread._on_core`` / ``_finish_virtual``) plus the finish
+        #: heap, so the hot add/complete path never touches a dict.
+        self._nrun = 0
         #: total dedicated-core-seconds delivered (for utilization accounting)
         self.delivered: float = 0.0
         #: wall-seconds during which at least one thread was runnable here
@@ -127,6 +136,15 @@ class Core:
         #: unchanged, recomputed lazily otherwise.
         self._completion_at: Optional[float] = None
         self._completion_dirty = True
+        #: incrementally-maintained ``len(running) + spinners``; read by the
+        #: engine's floating-thread placement scan, which runs once per
+        #: compute segment and must not pay ``len()`` + property overhead.
+        self._load = spinners
+        #: back-reference into the engine's :class:`CompletionIndex` (None
+        #: for standalone cores); the dirty-push half of the invalidation
+        #: protocol described on :meth:`completion_at`.
+        self._cidx: Optional["CompletionIndex"] = None
+        self._cpos = 0
 
     # identity semantics: cores are placed in dicts/sets by the engine
     # (plain object hash/eq - no overrides needed on a non-dataclass)
@@ -140,8 +158,20 @@ class Core:
         # A spinner arriving/leaving changes the share count, hence the
         # per-thread rate, hence every pending completion instant.
         if value != self._spinners:
+            self._load += value - self._spinners
             self._spinners = value
+            self._mark_completion_dirty()
+
+    def _mark_completion_dirty(self) -> None:
+        """Invalidate the cached completion instant and notify the engine's
+        :class:`CompletionIndex` (dirty positions are pushed exactly once
+        per clean->dirty transition, so the index refresh touches only the
+        cores whose composition actually changed)."""
+        if not self._completion_dirty:
             self._completion_dirty = True
+            idx = self._cidx
+            if idx is not None:
+                idx._dirty.append(self._cpos)
 
     @property
     def load(self) -> int:
@@ -151,31 +181,48 @@ class Core:
         really does land in a contended slot, which is why the 3-core
         ZCU102 squeezes application threads while the Jetson's spare cores
         do not (paper Figs 6 vs 8)."""
-        return len(self.running) + self._spinners
+        return self._load
+
+    @property
+    def running(self) -> dict["SimThread", float]:
+        """Snapshot of thread -> finish-virtual for the active segments.
+
+        Rebuilt from the finish heap on access (each heap entry is exactly
+        one active segment); the hot path keeps only :attr:`_nrun` and the
+        per-thread slots, so this is an introspection view, not storage.
+        """
+        return {entry[2]: entry[0] for entry in self._finish_heap}
 
     def add(self, thread: "SimThread", work: float) -> None:
-        if thread in self.running:
-            raise SimStateError(f"{thread.name!r} already running on core {self.name!r}")
+        if thread._on_core is not None:
+            raise SimStateError(
+                f"{thread.name!r} already running on core {thread._on_core.name!r}"
+            )
         finish = self._virtual + work
-        self.running[thread] = finish
+        thread._on_core = self
+        thread._finish_virtual = finish
+        self._nrun += 1
         self._seq += 1
         heapq.heappush(self._finish_heap, (finish, self._seq, thread, work))
-        self._completion_dirty = True
+        self._load += 1
+        self._mark_completion_dirty()
 
     def remaining_work(self, thread: "SimThread") -> float:
         """Dedicated-core seconds left in *thread*'s current segment."""
-        return self.running[thread] - self._virtual
+        if thread._on_core is not self:
+            raise KeyError(thread)
+        return thread._finish_virtual - self._virtual
 
     def _per_thread_rate(self) -> float:
         """Dedicated-work seconds delivered per wall second to each of the
         ``k`` runnable threads, including busy-polling spinners in the share
         count and the context-switch penalty."""
-        k = len(self.running) + self._spinners
+        k = self._nrun + self._spinners
         return self.speed / (k * (1.0 + self.cs_alpha * (k - 1)))
 
     def next_completion_in(self) -> Optional[float]:
         """Wall-seconds until the earliest segment here finishes, or None."""
-        if not self.running:
+        if not self._nrun:
             return None
         remaining = self._finish_heap[0][0] - self._virtual
         return remaining / self._per_thread_rate()
@@ -190,9 +237,13 @@ class Core:
         setter.
         """
         if self._completion_dirty:
-            if self.running:
-                remaining = self._finish_heap[0][0] - self._virtual
-                self._completion_at = now + remaining / self._per_thread_rate()
+            n = self._nrun
+            if n:
+                # _per_thread_rate() inlined: this recompute runs once per
+                # engine iteration for every core whose composition changed
+                k = n + self._spinners
+                rate = self.speed / (k * (1.0 + self.cs_alpha * (k - 1)))
+                self._completion_at = now + (self._finish_heap[0][0] - self._virtual) / rate
             else:
                 self._completion_at = None
             self._completion_dirty = False
@@ -207,14 +258,13 @@ class Core:
         """
         if dt == 0.0:
             return []
-        running = self.running
-        if not running:
+        n = self._nrun
+        if not n:
             if self._spinners:
                 # a busy-polling thread keeps the core active (and drawing
                 # power) even with no work item in flight
                 self.busy_time += dt
             return []
-        n = len(running)
         k = n + self._spinners
         rate = self.speed / (k * (1.0 + self.cs_alpha * (k - 1)))
         virtual = self._virtual + dt * rate
@@ -228,13 +278,16 @@ class Core:
         limit = virtual + WORK_EPSILON
         while heap and heap[0][0] <= limit:
             _, _, thread, work = heapq.heappop(heap)
-            del running[thread]
+            thread._on_core = None
             # Credit the segment's exact work on completion (rather than
             # drip-feeding partial grants every advance): cheaper and free
             # of per-advance rounding drift.
             thread.cpu_time += work
             done.append(thread)
-        self._completion_dirty = True
+        completed = len(done)
+        self._nrun -= completed
+        self._load -= completed
+        self._mark_completion_dirty()
         return done
 
     def utilization(self, elapsed: float) -> float:
@@ -243,6 +296,103 @@ class Core:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Core {self.name} load={self.load}>"
+
+
+class CompletionIndex:
+    """Cached absolute completion instants for a fixed set of cores.
+
+    The engine's advance loop needs "when does the earliest compute segment
+    anywhere finish?" on every iteration, and the audit/introspection layer
+    needs the batched form "which cores complete at or before ``t``?".
+    Before this index both were per-core method calls; now each core's
+    cached :meth:`Core.completion_at` value is mirrored into one flat table
+    and only the *dirty* cores (those whose runnable set or spinner count
+    changed since the last query - pushed by
+    :meth:`Core._mark_completion_dirty`) are re-read.
+
+    Two mirrors of the same instants are kept deliberately:
+
+    * a plain Python list backing :meth:`min_at` - for the small core
+      counts of real platforms (3-8) a bound C-loop ``min`` over a list is
+      ~5-9x faster than ``ndarray.min()``'s ufunc dispatch, and ``min_at``
+      runs once per engine iteration;
+    * :attr:`instants` - a NumPy float array (``inf`` = idle core)
+      answering the vectorized :meth:`due` query in one comparison pass.
+      It is synced from the list lazily, on access: per-element ndarray
+      stores in the per-iteration refresh would cost more than the whole
+      refresh loop, and the batched query runs far less often than the
+      engine advances.
+
+    Attaching a core to a second index (e.g. sharing ``Core`` objects
+    between two engines) re-points its back-reference; only the most
+    recently attached index sees its invalidations.
+    """
+
+    __slots__ = ("cores", "_instants_np", "_np_stale", "_instants_list", "_dirty")
+
+    def __init__(self, cores: Sequence[Core]) -> None:
+        self.cores = list(cores)
+        n = len(self.cores)
+        self._instants_np = np.full(n, np.inf)
+        self._np_stale = False
+        self._instants_list: list[float] = [math.inf] * n
+        self._dirty = list(range(n))
+        for pos, core in enumerate(self.cores):
+            core._cidx = self
+            core._cpos = pos
+            core._completion_dirty = True
+
+    def refresh(self, now: float) -> None:
+        """Re-read every dirty core's cached completion instant."""
+        dirty = self._dirty
+        if dirty:
+            cores = self.cores
+            lst = self._instants_list
+            for pos in dirty:
+                core = cores[pos]
+                # inlined Core.completion_at: this loop runs once per
+                # engine iteration over every core whose composition
+                # changed, and the method call would double its cost
+                if core._completion_dirty:
+                    n = core._nrun
+                    if n:
+                        k = n + core._spinners
+                        rate = core.speed / (k * (1.0 + core.cs_alpha * (k - 1)))
+                        core._completion_at = (
+                            now + (core._finish_heap[0][0] - core._virtual) / rate
+                        )
+                    else:
+                        core._completion_at = None
+                    core._completion_dirty = False
+                at = core._completion_at
+                lst[pos] = math.inf if at is None else at
+            dirty.clear()
+            self._np_stale = True
+
+    @property
+    def instants(self) -> np.ndarray:
+        """Absolute completion instants, ``inf`` for idle cores (NumPy
+        view; call :meth:`refresh` first to fold in pending changes)."""
+        if self._np_stale:
+            self._instants_np[:] = self._instants_list
+            self._np_stale = False
+        return self._instants_np
+
+    def min_at(self, now: float) -> Optional[float]:
+        """Earliest completion instant across all cores (None = all idle)."""
+        self.refresh(now)
+        best = math.inf
+        for at in self._instants_list:
+            if at < best:
+                best = at
+        return None if best == math.inf else best
+
+    def due(self, t: float, now: Optional[float] = None) -> np.ndarray:
+        """Positions of every core whose earliest completion is ``<= t``:
+        one vectorized NumPy pass over the cached instants (``now``
+        defaults to ``t`` for the refresh)."""
+        self.refresh(t if now is None else now)
+        return np.nonzero(self.instants <= t)[0]
 
 
 class Device:

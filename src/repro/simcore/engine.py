@@ -1,8 +1,8 @@
 """Event-driven simulation engine with processor-sharing cores.
 
-The engine owns the virtual clock, a timer heap, the set of CPU cores, and a
-dispatch queue of threads runnable *right now*.  Its main loop alternates two
-phases:
+The engine owns the virtual clock, a pluggable timer queue (the *event
+core*), the set of CPU cores, and a dispatch queue of threads runnable
+*right now*.  Its main loop alternates two phases:
 
 1. **Dispatch** - resume every ready thread at the current instant, handling
    the request each one yields (compute, sleep, block, device use, ...).
@@ -10,24 +10,39 @@ phases:
    signals, device grants), so this phase drains to a fixed point.
 2. **Advance** - jump the clock to the next event: either a timer or the
    earliest compute-segment completion given current processor sharing, then
-   credit the elapsed interval to every runnable thread.
+   credit the elapsed interval to every active core.  Every timer due at the
+   reached instant fires in one batched drain (timers chained at the same
+   instant from inside a callback join the same drain) before any woken
+   thread dispatches.
 
-Because processor-sharing completion times change whenever the runnable set
-changes, each core caches the *absolute instant* of its earliest completion
-and invalidates it only when its composition (runnable set or spinner
-count) changes - see :meth:`repro.simcore.cores.Core.completion_at`.  An
-advance therefore costs O(cores) cached reads instead of O(threads)
-remaining-work scans, and stays exact.
+Two structures keep both phases amortized O(1) per event at million-task
+scale (docs/INTERNALS.md, "Event core"):
+
+* timers live in a :mod:`~repro.simcore.timerwheel` queue - the default
+  calendar-queue wheel buckets the near future so pushes and same-instant
+  batch pops do not pay an O(log n) heap sift against far-future arrival
+  timers; ``event_core="heap"`` (or ``$REPRO_EVENT_CORE``) selects the
+  original global heap, kept bit-identical as the differential reference.
+  The earliest pending ``when`` is additionally tracked in
+  ``_timer_next`` (exact min maintenance on push/pop/cancel), so the main
+  loop reads it without touching the queue at all.
+* compute completions are mirrored in a
+  :class:`~repro.simcore.cores.CompletionIndex`: each core caches the
+  absolute instant of its earliest completion and pushes its position on
+  invalidation, so the per-iteration "next completion anywhere" scan only
+  re-reads cores whose composition actually changed - see
+  :meth:`repro.simcore.cores.Core.completion_at`.
 """
 
 from __future__ import annotations
 
-import heapq
 import itertools
+import os
 from collections import deque
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Optional, Sequence
 
-from .cores import Core, Device
+from .cores import WORK_EPSILON, CompletionIndex, Core, Device
 from .errors import SimDeadlock, SimStateError, SimTimeError
 from .process import (
     AcquireDevice,
@@ -41,8 +56,18 @@ from .process import (
     Yield,
 )
 from .rng import make_rng
+from .timerwheel import DEFAULT_EVENT_CORE, TimerEntry, make_timer_queue
 
 __all__ = ["Engine"]
+
+#: same-instant tolerance: timers within this window of the reached instant
+#: fire in the current drain (absorbs float round-off between a completion
+#: instant and a timer deadline computed from the same arithmetic).
+_INSTANT_EPSILON = 1e-15
+
+
+def _core_index(core: Core) -> int:
+    return core.index
 
 
 class Engine:
@@ -56,9 +81,21 @@ class Engine:
     seed:
         Seed for the engine-owned root RNG; subsystems derive child streams
         from it so whole experiments are reproducible bit-for-bit.
+    event_core:
+        Timer-queue implementation: ``"wheel"`` (calendar-queue timer
+        wheel, the default) or ``"heap"`` (the original global binary
+        heap, kept as the differential reference).  ``None`` reads
+        ``$REPRO_EVENT_CORE`` before falling back to the default.  Both
+        produce bit-identical schedules (``repro audit diff --variants
+        event_core`` is the enforcing oracle).
     """
 
-    def __init__(self, cores: int | Sequence[Core] = 1, seed: int = 0) -> None:
+    def __init__(
+        self,
+        cores: int | Sequence[Core] = 1,
+        seed: int = 0,
+        event_core: Optional[str] = None,
+    ) -> None:
         if isinstance(cores, int):
             if cores < 1:
                 raise SimStateError("engine needs at least one core")
@@ -78,9 +115,26 @@ class Engine:
         self.current: Optional[SimThread] = None
         self.threads: list[SimThread] = []
         self._ready: deque[tuple[SimThread, Any]] = deque()
-        self._timers: list[tuple[float, int, Callable[[], None]]] = []
+        if event_core is None:
+            event_core = os.environ.get("REPRO_EVENT_CORE", DEFAULT_EVENT_CORE)
+        self._timerq = make_timer_queue(event_core, now=0.0)
+        #: exact earliest pending timer instant (None = no live timers);
+        #: maintained on every push/drain/cancel so the main loop never
+        #: pays a queue peek just to decide the next event.
+        self._timer_next: Optional[float] = None
         self._timer_seq = itertools.count()
+        self._completions = CompletionIndex(self.cores)
         self._events_processed = 0
+        #: ``call_at`` timestamps already in the past, clamped to now
+        #: (mirrored to the ``simcore_late_timers_total`` telemetry counter
+        #: through :attr:`on_late_timer`).
+        self.late_timers = 0
+        #: optional zero-argument hook invoked on each late ``call_at``.
+        self.on_late_timer: Optional[Callable[[], None]] = None
+        #: timers fired so far (separate from dispatch-event accounting).
+        self.timers_fired = 0
+        self._drain_batches = 0
+        self._drain_events = 0
         self.trace: Optional[Callable[..., None]] = None
 
     # ------------------------------------------------------------------ #
@@ -113,6 +167,43 @@ class Engine:
         return thread
 
     # ------------------------------------------------------------------ #
+    # event core selection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def event_core(self) -> str:
+        """The active timer-queue kind (``"wheel"`` or ``"heap"``)."""
+        return self._timerq.kind
+
+    def set_event_core(self, kind: str) -> None:
+        """Swap the timer queue for *kind*, migrating pending entries.
+
+        Entries keep their ``(when, seq)`` identity, so pop order - and
+        therefore every downstream result - is unchanged by the swap.
+        Timer handles issued before the swap go stale (they reference the
+        old queue) and must not be cancelled afterwards; the runtime swaps
+        only at construction, before any handle exists.
+        """
+        if kind == self._timerq.kind:
+            return
+        new = make_timer_queue(kind, now=self.now)
+        for when, seq, callback in self._timerq.entries():
+            new.push(when, seq, callback)
+        self._timerq = new
+        self._timer_next = new.peek()
+
+    def event_core_stats(self) -> dict:
+        """Event-core observability snapshot (``run --perf-json``)."""
+        stats = self._timerq.stats()
+        stats["late_timers"] = self.late_timers
+        stats["timers_fired"] = self.timers_fired
+        stats["drain_batches"] = self._drain_batches
+        stats["mean_batch"] = (
+            self._drain_events / self._drain_batches if self._drain_batches else 0.0
+        )
+        return stats
+
+    # ------------------------------------------------------------------ #
     # scheduling primitives (used by sync/device layers)
     # ------------------------------------------------------------------ #
 
@@ -125,16 +216,42 @@ class Engine:
         thread.state = ThreadState.READY
         self._ready.append((thread, value))
 
-    def _schedule_timer(self, delay: float, callback: Callable[[], None]) -> None:
+    def _schedule_timer(self, delay: float, callback: Callable[[], None]) -> TimerEntry:
         if delay < 0:
             raise SimTimeError(f"negative timer delay: {delay}")
-        heapq.heappush(self._timers, (self.now + delay, next(self._timer_seq), callback))
+        when = self.now + delay
+        if self._timer_next is None or when < self._timer_next:
+            self._timer_next = when
+        return self._timerq.push(when, next(self._timer_seq), callback)
 
-    def call_at(self, when: float, callback: Callable[[], None]) -> None:
-        """Run *callback* at absolute simulated time ``when`` (>= now)."""
-        if when < self.now:
-            raise SimTimeError(f"call_at({when}) is in the past (now={self.now})")
-        heapq.heappush(self._timers, (when, next(self._timer_seq), callback))
+    def call_at(self, when: float, callback: Callable[[], None]) -> TimerEntry:
+        """Run *callback* at absolute simulated time ``when``.
+
+        A ``when`` already in the past is clamped to now - it fires in the
+        very next timer drain rather than at some arbitrary later one - and
+        is counted in :attr:`late_timers` (exported as
+        ``simcore_late_timers_total``) so schedule bugs that produce stale
+        timestamps stay visible instead of silently reordering.
+        """
+        now = self.now
+        if when < now:
+            self.late_timers += 1
+            hook = self.on_late_timer
+            if hook is not None:
+                hook()
+            when = now
+        if self._timer_next is None or when < self._timer_next:
+            self._timer_next = when
+        return self._timerq.push(when, next(self._timer_seq), callback)
+
+    def cancel_timer(self, handle: TimerEntry) -> bool:
+        """Cancel a pending timer returned by :meth:`call_at` /
+        :meth:`_schedule_timer`; returns False if it already fired or was
+        already cancelled."""
+        cancelled = self._timerq.cancel(handle)
+        if cancelled and handle[0] == self._timer_next:
+            self._timer_next = self._timerq.peek()
+        return cancelled
 
     # ------------------------------------------------------------------ #
     # dispatch
@@ -151,7 +268,7 @@ class Engine:
         best: Optional[Core] = None
         best_load = 0
         for core in self.floating_pool:
-            load = len(core.running) + core._spinners
+            load = core._load
             if best is None or load < best_load or (load == best_load and core.index < best.index):
                 best = core
                 best_load = load
@@ -159,29 +276,18 @@ class Engine:
             raise SimStateError("engine has an empty floating pool")
         return best
 
-    def _dispatch(self, thread: SimThread, value: Any) -> None:
-        """Resume one thread and act on the request it yields."""
-        self.current = thread
-        try:
-            request = thread.gen.send(value)
-        except StopIteration as stop:
-            self._finish(thread, stop.value)
-            return
-        finally:
-            self.current = None
-
-        # Exact-type tests first: requests are (in practice) final classes
-        # and this is the hottest branch in the simulator; isinstance keeps
-        # working for subclasses via the fallback chain below.
+    def _dispatch_slow(self, thread: SimThread, request: Any) -> None:
+        """Act on a non-``Compute`` (or subclassed) request; the exact-type
+        ``Compute`` fast path lives inline in :meth:`run`."""
         cls = request.__class__
-        if cls is Compute or isinstance(request, Compute):
-            core = self._pick_core(thread, request.core)
+        if isinstance(request, Compute):
             if request.work <= 0.0:
                 # Zero-cost segment: skip the core entirely so it neither
                 # perturbs processor sharing nor inflates busy accounting.
                 thread.state = ThreadState.READY
                 self._ready.append((thread, None))
             else:
+                core = self._pick_core(thread, request.core)
                 thread.state = ThreadState.RUNNING
                 thread._current_core = core
                 core.add(thread, request.work)
@@ -221,32 +327,60 @@ class Engine:
     def _next_compute_completion(self) -> Optional[float]:
         """Wall-seconds until the earliest compute completion on any core.
 
-        Reads each core's cached completion instant (O(cores), no
-        remaining-work scans); kept for introspection and tests - the main
-        loop inlines the same cached scan in absolute time.
+        Reads the completion index (dirty cores only); kept for
+        introspection and tests - the main loop uses the same index in
+        absolute time.
         """
-        at = self._next_completion_at()
+        at = self._completions.min_at(self.now)
         return None if at is None else at - self.now
 
     def _next_completion_at(self) -> Optional[float]:
-        now = self.now
-        best: Optional[float] = None
-        for core in self.cores:
-            at = core.completion_at(now)
-            if at is not None and (best is None or at < best):
-                best = at
-        return best
+        return self._completions.min_at(self.now)
 
     def _advance(self, dt: float) -> None:
         if dt < 0:
             raise SimTimeError(f"attempted to advance time by {dt}")
+        if dt == 0.0:
+            return
         self.now += dt
         ready = self._ready
+        ready_state = ThreadState.READY
         for core in self.cores:
-            for thread in core.advance(dt):
-                thread.state = ThreadState.READY
-                thread._current_core = None
-                ready.append((thread, None))
+            # Inlined Core.advance (which stays in cores.py for direct
+            # callers; the virtual-time arithmetic must match it exactly):
+            # the method call plus completed-list round trip costs more
+            # than the advance itself at high event rates.
+            n = core._nrun
+            if n:
+                k = n + core._spinners
+                rate = core.speed / (k * (1.0 + core.cs_alpha * (k - 1)))
+                virtual = core._virtual + dt * rate
+                core._virtual = virtual
+                core.delivered += dt * rate * n
+                core.busy_time += dt
+                heap = core._finish_heap
+                limit = virtual + WORK_EPSILON
+                if heap and heap[0][0] <= limit:
+                    completed = 0
+                    while heap and heap[0][0] <= limit:
+                        _, _, thread, work = heappop(heap)
+                        thread._on_core = None
+                        thread.cpu_time += work
+                        thread.state = ready_state
+                        thread._current_core = None
+                        ready.append((thread, None))
+                        completed += 1
+                    core._nrun -= completed
+                    core._load -= completed
+                    if not core._completion_dirty:
+                        core._completion_dirty = True
+                        cidx = core._cidx
+                        if cidx is not None:
+                            cidx._dirty.append(core._cpos)
+            elif core._spinners:
+                # a busy-polling thread keeps the core active with no work
+                # in flight
+                core.busy_time += dt
 
     def run(self, until: Optional[float] = None, strict: bool = True) -> float:
         """Run the simulation; return the final simulated time.
@@ -257,21 +391,93 @@ class Engine:
         must shut its runtime down so every thread finishes.
         """
         ready = self._ready
-        timers = self._timers
-        dispatch = self._dispatch
+        timerq = self._timerq
+        completions = self._completions
+        ready_state = ThreadState.READY
+        running_state = ThreadState.RUNNING
+        # Least-loaded placement scans a copy of the floating pool sorted by
+        # core index: iteration order then IS the tie-break order, so the
+        # scan needs one strict compare per core instead of three.  The
+        # cache refreshes whenever ``floating_pool`` is rebound (platforms
+        # and tests assign a new list; in-place mutation mid-run is not
+        # supported).
+        pool_cache: Optional[list[Core]] = None
+        pool_sorted: list[Core] = []
         while True:
             # Drain every thread runnable at the current instant (dispatch
             # may append more same-instant work; the deque drains to a fixed
-            # point before time moves).
+            # point before time moves).  The exact-type Compute branch is
+            # inlined: it is by far the hottest path in the simulator and a
+            # method call per event costs ~15% of the whole loop.
             events = 0
             while ready:
                 thread, value = ready.popleft()
                 events += 1
-                dispatch(thread, value)
+                # ``current`` is read only from inside gen.send (sync
+                # primitives asking "who is running?"), so it is cleared
+                # once after the drain instead of once per event; on an
+                # exception it is left pointing at the culprit thread.
+                self.current = thread
+                try:
+                    request = thread.gen.send(value)
+                except StopIteration as stop:
+                    self._finish(thread, stop.value)
+                    continue
+                if request.__class__ is Compute:
+                    work = request.work
+                    if work <= 0.0:
+                        # zero-cost segment: never touches a core
+                        thread.state = ready_state
+                        ready.append((thread, None))
+                        continue
+                    core = request.core
+                    if core is None:
+                        core = thread.affinity
+                        if core is None:
+                            pool = self.floating_pool
+                            if pool is not pool_cache:
+                                pool_cache = pool
+                                pool_sorted = sorted(pool, key=_core_index)
+                                if not pool_sorted:
+                                    raise SimStateError("engine has an empty floating pool")
+                            core = pool_sorted[0]
+                            best_load = core._load
+                            for c in pool_sorted:
+                                load = c._load
+                                if load < best_load:
+                                    core = c
+                                    best_load = load
+                    # Inlined Core.add (which stays in cores.py for direct
+                    # callers and the slow path; bookkeeping must match it
+                    # exactly): one method call per compute segment is the
+                    # single largest slice of the dispatch budget.
+                    if thread._on_core is not None:
+                        raise SimStateError(
+                            f"{thread.name!r} already running on core "
+                            f"{thread._on_core.name!r}"
+                        )
+                    finish = core._virtual + work
+                    thread._on_core = core
+                    thread._finish_virtual = finish
+                    seq = core._seq + 1
+                    core._seq = seq
+                    heappush(core._finish_heap, (finish, seq, thread, work))
+                    core._nrun += 1
+                    core._load += 1
+                    if not core._completion_dirty:
+                        core._completion_dirty = True
+                        cidx = core._cidx
+                        if cidx is not None:
+                            cidx._dirty.append(core._cpos)
+                    thread.state = running_state
+                    thread._current_core = core
+                else:
+                    self._dispatch_slow(thread, request)
+            self.current = None
             self._events_processed += events
 
-            timer_at = timers[0][0] if timers else None
-            compute_at = self._next_completion_at()
+            timer_at = self._timer_next
+            compute_at = completions.min_at(self.now)
 
             if timer_at is None and compute_at is None:
                 # Only materialize the blocked-thread list when actually
@@ -298,11 +504,25 @@ class Engine:
                 return self.now
 
             self._advance(next_at - self.now)
-            # Batch every timer that fires at this instant in one pop loop.
-            deadline = self.now + 1e-15
-            while timers and timers[0][0] <= deadline:
-                _, _, callback = heapq.heappop(timers)
-                callback()
+            # Batched same-instant drain: every timer due at the reached
+            # instant fires before any woken thread dispatches; callbacks
+            # that chain new timers due at this same instant join the drain
+            # (the re-pop loop), matching the heap reference's semantics.
+            deadline = self.now + _INSTANT_EPSILON
+            if timer_at is not None and timer_at <= deadline:
+                fired = 0
+                while True:
+                    batch = timerq.pop_due(deadline)
+                    if not batch:
+                        break
+                    fired += len(batch)
+                    for callback in batch:
+                        callback()
+                self._timer_next = timerq.peek()
+                if fired:
+                    self.timers_fired += fired
+                    self._drain_batches += 1
+                    self._drain_events += fired
 
     # ------------------------------------------------------------------ #
     # introspection

@@ -183,6 +183,8 @@ class SimThread:
         "finished_at",
         "_joiners",
         "_current_core",
+        "_on_core",
+        "_finish_virtual",
     )
 
     def __init__(
@@ -203,6 +205,12 @@ class SimThread:
         self.finished_at: Optional[float] = None
         self._joiners: list["SimThread"] = []
         self._current_core: "Optional[Core]" = None
+        #: Core-owned placement bookkeeping (set by Core.add, cleared on
+        #: segment completion): which core holds this thread's active
+        #: segment, and the virtual-clock instant it finishes.  Storing
+        #: these on the thread lets cores drop their per-thread dicts.
+        self._on_core: "Optional[Core]" = None
+        self._finish_virtual: float = 0.0
 
     @property
     def alive(self) -> bool:

@@ -27,6 +27,8 @@ via PerfCounters)      ``cedr_task_failures_total``, ``cedr_task_
                        ``cedr_pe_revivals_total``,
                        ``cedr_task_recovery_seconds``
 sampler                ``cedr_pe_utilization`` (derived at snapshot time)
+engine (bridged via    ``simcore_late_timers_total``
+``Engine.on_late_timer``)
 =====================  ==================================================
 
 All recording is plain state mutation - no simulated cost, no events - so
@@ -179,6 +181,12 @@ class CedrTelemetry:
         self.task_recovery = r.histogram(
             "cedr_task_recovery_seconds", RECOVERY_BUCKETS,
             "First failure to successful completion, per recovered task",
+        )
+
+        # -- simulator event core (bridged from the engine) ------------------ #
+        self.late_timers = r.counter(
+            "simcore_late_timers_total",
+            "call_at timestamps in the past, clamped to the current instant",
         )
 
         # Pre-touch per-PE children so every PE appears (with zeros) even if

@@ -205,12 +205,30 @@ def test_call_at_fires_in_order():
     assert hits == [0.1, 0.2]
 
 
-def test_call_at_in_the_past_rejected():
+def test_call_at_in_the_past_clamps_to_now_and_counts():
     eng = Engine(cores=1)
     eng.call_at(0.5, lambda: None)
     eng.run()
-    with pytest.raises(SimTimeError):
-        eng.call_at(0.1, lambda: None)
+    hits = []
+    eng.call_at(0.1, lambda: hits.append(eng.now))
+    assert eng.late_timers == 1
+    eng.run()
+    # clamped to "now" at scheduling time, not replayed at 0.1
+    assert hits == [pytest.approx(0.5)]
+    assert eng.now == pytest.approx(0.5)
+
+
+def test_late_call_at_invokes_telemetry_hook():
+    eng = Engine(cores=1)
+    lates = []
+    eng.on_late_timer = lambda: lates.append(eng.now)
+    eng.call_at(0.5, lambda: None)
+    eng.run()
+    eng.call_at(0.25, lambda: None)
+    eng.call_at(0.75, lambda: None)  # future timestamps are not late
+    eng.run()
+    assert eng.late_timers == 1
+    assert lates == [pytest.approx(0.5)]
 
 
 def test_strict_run_raises_on_blocked_threads():
@@ -318,3 +336,63 @@ def test_core_utilization_reported():
     util = eng.core_utilization()
     assert util["cpu0"] == pytest.approx(1.0)
     assert util["cpu1"] == 0.0
+
+
+# --------------------------------------------------------------------- #
+# pluggable event cores
+# --------------------------------------------------------------------- #
+
+def test_engine_event_core_selection_and_env_default(monkeypatch):
+    assert Engine(cores=1).event_core == "wheel"  # repo default
+    assert Engine(cores=1, event_core="heap").event_core == "heap"
+    monkeypatch.setenv("REPRO_EVENT_CORE", "heap")
+    assert Engine(cores=1).event_core == "heap"
+    with pytest.raises(ValueError, match="unknown event core"):
+        Engine(cores=1, event_core="skiplist")
+
+
+def test_set_event_core_migrates_pending_timers():
+    eng = Engine(cores=1)
+    hits = []
+    eng.call_at(0.2, lambda: hits.append("b"))
+    eng.call_at(0.1, lambda: hits.append("a"))
+    eng.call_at(0.2, lambda: hits.append("c"))  # equal-when tie via seq
+    cancelled = eng.call_at(0.15, lambda: hits.append("dead"))
+    eng.cancel_timer(cancelled)
+    eng.set_event_core("heap")
+    assert eng.event_core == "heap"
+    eng.set_event_core("heap")  # idempotent no-op
+    eng.run()
+    assert hits == ["a", "b", "c"]
+    assert eng.now == pytest.approx(0.2)
+
+
+def test_event_core_stats_schema_and_batching():
+    eng = Engine(cores=1)
+    hits = []
+    for _ in range(3):
+        eng.call_at(0.1, lambda: hits.append(eng.now))  # one same-instant batch
+    eng.call_at(0.2, lambda: hits.append(eng.now))
+    eng.run()
+    stats = eng.event_core_stats()
+    assert stats["kind"] == "wheel"
+    assert stats["timers_fired"] == 4
+    assert stats["late_timers"] == 0
+    assert stats["occupancy_hwm"] == 4
+    assert stats["drain_batches"] == 2
+    assert stats["mean_batch"] == pytest.approx(2.0)
+    assert hits == [pytest.approx(0.1)] * 3 + [pytest.approx(0.2)]
+
+
+def test_heap_and_wheel_fire_identical_schedules():
+    """The same timer program produces the same fire sequence on both
+    event cores, including equal-instant tie-breaks."""
+    def drive(kind):
+        eng = Engine(cores=1, event_core=kind)
+        log = []
+        for i, when in enumerate([0.3, 0.1, 0.3, 0.2, 0.1]):
+            eng.call_at(when, lambda i=i: log.append((eng.now, i)))
+        eng.run()
+        return log
+
+    assert drive("heap") == drive("wheel")

@@ -29,7 +29,7 @@ def test_catalog_shape_is_run_invariant():
     # a zero-task telemetry object already exports every family
     t = CedrTelemetry(TelemetryConfig(), pe_names=("cpu0", "fft0"))
     names = [f.name for f in t.registry.families()]
-    assert len(names) == len(set(names)) == 21
+    assert len(names) == len(set(names)) == 22
     assert set(_series_keys(t, "cedr_pe_dispatch_total")) == {("cpu0",), ("fft0",)}
 
 
