@@ -30,11 +30,14 @@ from .invariants import (
 from .online import OnlineAuditor
 from .oracle import (
     DEFAULT_VARIANTS,
+    SERVE_VARIANTS,
     OracleReport,
     VariantOutcome,
     assert_identical,
     diff_results,
     diff_run,
+    diff_serve,
+    diff_serve_results,
 )
 
 __all__ = [
@@ -49,9 +52,12 @@ __all__ = [
     "audit_logbook",
     "OnlineAuditor",
     "diff_results",
+    "diff_serve_results",
     "assert_identical",
     "diff_run",
+    "diff_serve",
     "OracleReport",
     "VariantOutcome",
     "DEFAULT_VARIANTS",
+    "SERVE_VARIANTS",
 ]

@@ -34,15 +34,23 @@ from repro.workload import WorkloadSpec
 
 __all__ = [
     "diff_results",
+    "diff_serve_results",
     "assert_identical",
     "VariantOutcome",
     "OracleReport",
     "DEFAULT_VARIANTS",
+    "SERVE_VARIANTS",
     "diff_run",
+    "diff_serve",
 ]
 
 #: every paired configuration :func:`diff_run` knows how to produce.
 DEFAULT_VARIANTS = ("jobs", "cache", "scalar", "telemetry", "audit", "event_core")
+
+#: the paired configurations :func:`diff_serve` covers.  ``telemetry`` is
+#: omitted: a serve cell's config carries no sampler by default and the
+#: embedded ``RunResult.telemetry`` field is the only thing it would touch.
+SERVE_VARIANTS = ("jobs", "cache", "scalar", "audit", "event_core")
 
 _RESULT_FIELDS = tuple(f.name for f in dataclasses.fields(RunResult))
 
@@ -100,6 +108,26 @@ def assert_identical(
                     for name in fields[:3]
                 )
             )
+
+
+def diff_serve_results(a, b) -> list[str]:
+    """Drifted field names between two ``ServeResult``s, bit-exactly.
+
+    The embedded batch result is descended into so a failure names the
+    actual drifted measurement (``run.makespan``) instead of just ``run``.
+    """
+    from repro.serve.driver import ServeResult
+
+    fields: list[str] = []
+    for f in dataclasses.fields(ServeResult):
+        va, vb = getattr(a, f.name), getattr(b, f.name)
+        if va == vb:
+            continue
+        if f.name == "run":
+            fields.extend(f"run.{name}" for name in diff_results(va, vb))
+        else:
+            fields.append(f.name)
+    return fields
 
 
 @dataclasses.dataclass(frozen=True)
@@ -277,6 +305,125 @@ def diff_run(
             outcomes.append(_compare(variant, baseline, grid(cfg)))
     return OracleReport(
         label=f"{platform.name}/{workload.name}/{mode}/{scheduler}",
+        cells=len(baseline),
+        outcomes=tuple(outcomes),
+    )
+
+
+def _compare_serve(
+    variant: str,
+    baseline: list,
+    candidate: list,
+    *,
+    notes: Sequence[str] = (),
+) -> VariantOutcome:
+    mismatches = []
+    for i, (a, b) in enumerate(zip(baseline, candidate)):
+        fields = diff_serve_results(a, b)
+        if fields:
+            mismatches.append((i, tuple(fields)))
+    if len(candidate) != len(baseline):
+        notes = (*notes, f"{len(candidate)} cells vs {len(baseline)}")
+    return VariantOutcome(
+        variant=variant,
+        cells=len(baseline),
+        mismatches=tuple(mismatches),
+        notes=tuple(notes),
+    )
+
+
+def diff_serve(
+    platform: PlatformConfig,
+    serve,
+    *,
+    trials: int = 2,
+    base_seed: int = 0,
+    config: Optional[RuntimeConfig] = None,
+    jobs: int = 2,
+    cache_dir: Optional[str] = None,
+    variants: Sequence[str] = SERVE_VARIANTS,
+) -> OracleReport:
+    """The serve-mode differential oracle behind ``repro audit diff --serve``.
+
+    Open-stream service runs add three determinism hazards batch sweeps do
+    not have: admission decisions fed back from live runtime signals (ready
+    depth, online p99), hold-queue release interleaved with completions,
+    and an expiry/seal race against in-flight work.  This runs one
+    ``(serve config, trial seed)`` grid under every paired configuration in
+    *variants* and diffs each :class:`~repro.serve.driver.ServeResult` -
+    SLO ledger and embedded batch result both - bit-exactly against the
+    serial baseline.
+    """
+    from repro.serve.driver import serve_trials
+
+    unknown = set(variants) - set(SERVE_VARIANTS)
+    if unknown:
+        raise KeyError(
+            f"unknown serve oracle variant(s) {sorted(unknown)}; "
+            f"available: {SERVE_VARIANTS}"
+        )
+    base_config = (
+        config
+        if config is not None
+        else RuntimeConfig(scheduler=serve.scheduler, execute_kernels=False)
+    )
+
+    def grid(cfg: RuntimeConfig, n_jobs: int = 1, cache=False) -> list:
+        return serve_trials(
+            platform, serve,
+            trials=trials, base_seed=base_seed,
+            config=cfg, n_jobs=n_jobs, cache=cache,
+        )
+
+    baseline = grid(base_config)
+    outcomes: list[VariantOutcome] = []
+    for variant in variants:
+        if variant == "jobs":
+            outcomes.append(
+                _compare_serve(variant, baseline, grid(base_config, n_jobs=jobs))
+            )
+        elif variant == "cache":
+            with tempfile.TemporaryDirectory() as scratch:
+                root = cache_dir or scratch
+                cold_cache = SweepCache(root)
+                cold = grid(base_config, cache=cold_cache)
+                warm_cache = SweepCache(root)
+                warm = grid(base_config, cache=warm_cache)
+                notes = []
+                n = len(baseline)
+                if not (
+                    cold_cache.stats.misses == cold_cache.stats.stores == n
+                ):
+                    notes.append(
+                        f"cold pass expected {n} misses+stores, saw "
+                        f"{cold_cache.stats}"
+                    )
+                if warm_cache.stats.hits != n or warm_cache.stats.misses != 0:
+                    notes.append(
+                        f"warm pass expected {n} pure hits, saw "
+                        f"{warm_cache.stats}"
+                    )
+                outcome = _compare_serve(variant, baseline, cold, notes=notes)
+                warm_outcome = _compare_serve(variant, baseline, warm)
+                outcomes.append(
+                    dataclasses.replace(
+                        outcome,
+                        mismatches=outcome.mismatches + warm_outcome.mismatches,
+                    )
+                )
+        elif variant == "scalar":
+            cfg = dataclasses.replace(base_config, scalar_estimates=True)
+            outcomes.append(_compare_serve(variant, baseline, grid(cfg)))
+        elif variant == "audit":
+            cfg = dataclasses.replace(base_config, audit=True)
+            outcomes.append(_compare_serve(variant, baseline, grid(cfg)))
+        elif variant == "event_core":
+            other = "heap" if base_config.event_core == "wheel" else "wheel"
+            cfg = base_config.with_event_core(other)
+            outcomes.append(_compare_serve(variant, baseline, grid(cfg)))
+    tenant_names = "+".join(t.name for t in serve.tenants)
+    return OracleReport(
+        label=f"{platform.name}/serve[{tenant_names}]/{serve.scheduler}",
         cells=len(baseline),
         outcomes=tuple(outcomes),
     )

@@ -51,7 +51,8 @@ APP_FACTORIES = {
 }
 
 PLATFORM_NAMES = ("zcu102", "jetson", "zcu102-biglittle")
-FIGURE_IDS = ("fig5", "fig67", "fig8", "fig9", "fig10a", "fig10b", "resilience")
+FIGURE_IDS = ("fig5", "fig67", "fig8", "fig9", "fig10a", "fig10b", "resilience",
+              "saturation")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -122,6 +123,58 @@ def build_parser() -> argparse.ArgumentParser:
                           "JSON) to PATH; audit it later with "
                           "'repro audit PATH'")
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the open-stream service mode for a fixed duration",
+        description="Promote the runtime into a service: seeded arrival "
+                    "streams feed an admission controller that submits "
+                    "applications to the live daemon for --duration "
+                    "simulated seconds, then drains gracefully and prints "
+                    "the per-tenant SLO ledger.",
+    )
+    serve.add_argument("--platform", choices=PLATFORM_NAMES, default="zcu102")
+    serve.add_argument("--cpu", type=int, default=None,
+                       help="CPU worker PEs (platform default if omitted)")
+    serve.add_argument("--fft", type=int, default=1,
+                       help="FFT accelerators (ZCU102)")
+    serve.add_argument("--mmult", type=int, default=0,
+                       help="MMULT accelerators (ZCU102)")
+    serve.add_argument("--little", type=int, default=4,
+                       help="LITTLE cores (zcu102-biglittle only)")
+    serve.add_argument("--apps", default="PD:1,TX:1",
+                       help="app mix cycled round-robin per tenant, comma "
+                            "list of NAME:COUNT (apps: %s)"
+                            % ",".join(APP_FACTORIES))
+    serve.add_argument("--duration", type=float, default=0.5,
+                       help="service window, simulated seconds")
+    serve.add_argument("--arrival", default="poisson:rate=100",
+                       help="arrival process per tenant, KIND:k=v,... "
+                            "(kinds: poisson, periodic, bursty, diurnal, "
+                            "trace); each tenant gets an independent stream "
+                            "of this process")
+    serve.add_argument("--tenants", type=int, default=1,
+                       help="number of identically configured tenants")
+    serve.add_argument("--admission", choices=("block", "shed", "degrade"),
+                       default="shed",
+                       help="policy for arrivals the system cannot take")
+    serve.add_argument("--slo-ms", type=float, default=50.0,
+                       help="per-tenant response-time objective, ms")
+    serve.add_argument("--max-in-system", type=int, default=32,
+                       help="admitted-but-unfinished cap across tenants")
+    serve.add_argument("--queue-cap", type=int, default=16,
+                       help="per-tenant hold-queue bound (block policy)")
+    serve.add_argument("--quota-rate", type=float, default=0.0,
+                       help="per-tenant token-bucket refill, arrivals/s "
+                            "(0 = unlimited)")
+    serve.add_argument("--mode", choices=("dag", "api"), default="api")
+    serve.add_argument("--scheduler", default="heft_rt")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--event-core", choices=("heap", "wheel"),
+                       default="wheel",
+                       help="simulator timer-queue implementation")
+    serve.add_argument("--audit", action="store_true",
+                       help="run with the online schedule auditor enabled")
+
     audit = sub.add_parser(
         "audit",
         help="audit a saved logbook, or diff paired sweep configurations",
@@ -156,6 +209,21 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--execute", action="store_true",
                        help="diff only: execute kernels functionally "
                             "instead of timing-only")
+    audit.add_argument("--serve", action="store_true",
+                       help="diff only: run the serve-mode oracle instead "
+                            "of the batch one (pairings: "
+                            "jobs,cache,scalar,audit,event_core)")
+    audit.add_argument("--duration", type=float, default=0.2,
+                       help="diff --serve only: service window, simulated "
+                            "seconds")
+    audit.add_argument("--arrival", default="poisson:rate=150",
+                       help="diff --serve only: arrival process, "
+                            "KIND:k=v,...")
+    audit.add_argument("--admission", choices=("block", "shed", "degrade"),
+                       default="block",
+                       help="diff --serve only: admission policy")
+    audit.add_argument("--slo-ms", type=float, default=50.0,
+                       help="diff --serve only: response-time objective, ms")
 
     tel = sub.add_parser(
         "telemetry",
@@ -175,6 +243,9 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument("--fault-seed", type=int, default=None,
                      help="resilience figure only: pin one fault schedule "
                           "across trials (default: derive from trial seeds)")
+    fig.add_argument("--duration", type=float, default=None,
+                     help="saturation figure only: service window per cell, "
+                          "simulated seconds")
     cache = fig.add_mutually_exclusive_group()
     cache.add_argument("--cache", action="store_true",
                        help="reuse previously simulated sweep cells from the "
@@ -341,6 +412,86 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _serve_config_from_args(args):
+    """Build the ServeConfig shared by ``repro serve`` and ``audit --serve``."""
+    from repro.serve import AdmissionConfig, ArrivalSpec, ServeConfig, TenantSpec
+
+    try:
+        arrival = ArrivalSpec.parse(args.arrival)
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(f"bad --arrival: {exc}") from None
+    apps = tuple(
+        APP_FACTORIES[name]()
+        for name, count in _parse_apps(args.apps)
+        for _ in range(count)
+    )
+    n_tenants = getattr(args, "tenants", 1)
+    if n_tenants < 1:
+        raise SystemExit(f"--tenants must be >= 1, got {n_tenants}")
+    admission = AdmissionConfig(
+        policy=getattr(args, "admission", "shed"),
+        max_in_system=getattr(args, "max_in_system", 32),
+        queue_cap=getattr(args, "queue_cap", 16),
+        quota_rate=getattr(args, "quota_rate", 0.0),
+    )
+    try:
+        return ServeConfig(
+            tenants=tuple(
+                TenantSpec(
+                    f"tenant{i}" if n_tenants > 1 else "tenant",
+                    arrival, apps=apps, slo_s=args.slo_ms / 1e3,
+                )
+                for i in range(n_tenants)
+            ),
+            duration=args.duration,
+            admission=admission,
+            mode=getattr(args, "mode", "api"),
+            scheduler=getattr(args, "scheduler", "heft_rt"),
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+
+
+def _cmd_serve(args) -> int:
+    """Run one open-stream service window and print the SLO ledger."""
+    from repro.serve import serve_once
+
+    serve = _serve_config_from_args(args)
+    config = RuntimeConfig(
+        scheduler=args.scheduler,
+        execute_kernels=False,
+        audit=args.audit,
+        event_core=args.event_core,
+    )
+    result = serve_once(_make_platform(args), serve, seed=args.seed, config=config)
+
+    print(f"platform  : {args.platform}  mode={args.mode}  "
+          f"scheduler={args.scheduler}  window {serve.duration:g} s")
+    print(f"arrivals  : {args.arrival} x {len(serve.tenants)} tenant(s), "
+          f"{serve.offered_rate:g} apps/s nominal offered load")
+    print(f"admission : {serve.admission.policy}, in-system cap "
+          f"{serve.admission.max_in_system}, queue cap "
+          f"{serve.admission.queue_cap}")
+    print(f"service   : {result.offered} offered, {result.admitted} admitted, "
+          f"{result.shed} shed, {result.degraded} degraded, "
+          f"{result.completed} completed "
+          f"({result.throughput:.1f} apps/s, {result.late_arrivals} late)")
+    print(f"slo       : p99 response {result.p99_response_s * 1e3:.2f} ms, "
+          f"{result.slo_violations} violations, "
+          f"goodput {result.goodput:.1f} apps/s within "
+          f"{args.slo_ms:g} ms")
+    print(f"drain     : graceful (every admitted app completed; "
+          f"makespan {result.run.makespan * 1e3:.2f} ms, in-system "
+          f"high-water {result.in_system_hwm})")
+    for t in result.tenants:
+        print(f"  {t.name:<10} offered {t.offered:>4}  admitted "
+              f"{t.admitted:>4}  shed {t.shed:>4}  held {t.held:>4}  "
+              f"completed {t.completed:>4}  p99 "
+              f"{t.p99_response_s * 1e3:8.2f} ms  violations "
+              f"{t.slo_violations:>4}")
+    return 0
+
+
 def _cmd_telemetry(args) -> int:
     """Print the metric catalog the telemetry subsystem exports."""
     from repro.telemetry import CedrTelemetry, TelemetryConfig
@@ -394,21 +545,24 @@ def _cmd_audit(args) -> int:
 
 def _cmd_audit_diff(args) -> int:
     """Run the differential oracle and print its per-variant verdicts."""
-    from repro.audit import DEFAULT_VARIANTS, diff_run
+    from repro.audit import DEFAULT_VARIANTS, SERVE_VARIANTS, diff_run
     from repro.workload import paper_injection_rates
 
+    available = SERVE_VARIANTS if args.serve else DEFAULT_VARIANTS
     if args.variants is None:
-        variants = DEFAULT_VARIANTS
+        variants = available
     else:
         variants = tuple(
             v.strip() for v in args.variants.split(",") if v.strip()
         )
-        unknown = set(variants) - set(DEFAULT_VARIANTS)
+        unknown = set(variants) - set(available)
         if unknown:
             raise SystemExit(
                 f"unknown variant(s) {sorted(unknown)}; "
-                f"options: {','.join(DEFAULT_VARIANTS)}"
+                f"options: {','.join(available)}"
             )
+    if args.serve:
+        return _cmd_audit_diff_serve(args, variants)
     entries = tuple(
         WorkloadEntry(APP_FACTORIES[name](), count)
         for name, count in _parse_apps(args.apps)
@@ -423,6 +577,23 @@ def _cmd_audit_diff(args) -> int:
         trials=args.trials,
         base_seed=args.seed,
         execute=args.execute,
+        jobs=args.jobs,
+        variants=variants,
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def _cmd_audit_diff_serve(args, variants) -> int:
+    """The serve-mode leg of ``repro audit diff`` (``--serve``)."""
+    from repro.audit import diff_serve
+
+    serve = _serve_config_from_args(args)
+    report = diff_serve(
+        _make_audit_platform(args.platform),
+        serve,
+        trials=args.trials,
+        base_seed=args.seed,
         jobs=args.jobs,
         variants=variants,
     )
@@ -535,6 +706,24 @@ def _run_figure(args) -> int:
                                   y_scale=1e3, y_fmt="{:10.2f}"))
         print()
         print(format_series_table(panels["resilience_goodput"], y_fmt="{:10.3f}"))
+    elif args.id == "saturation":
+        from repro.experiments import SATURATION_DURATION, run_fig_saturation
+
+        duration = (args.duration if args.duration is not None
+                    else SATURATION_DURATION)
+        panels = run_fig_saturation(
+            duration=duration, trials=args.trials, seed=args.seed, n_jobs=jobs,
+        )
+        print(format_series_table(panels["saturation_throughput"],
+                                  y_fmt="{:10.1f}"))
+        print()
+        print(format_series_table(panels["saturation_p99"],
+                                  y_scale=1e3, y_fmt="{:10.2f}"))
+        if "saturation_knee" in panels:
+            knee = panels["saturation_knee"].series[0].xs[0]
+            print(f"\ndetected saturation knee: {knee:g} apps/s offered")
+        else:
+            print("\nno saturation knee detected in the swept range")
     return 0
 
 
@@ -545,6 +734,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_list()
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "telemetry":
         return _cmd_telemetry(args)
     if args.command == "audit":

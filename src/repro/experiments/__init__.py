@@ -24,6 +24,12 @@ from .fig8_jetson import run_fig8
 from .fig9_versatility import av_workload_scaled, run_fig9
 from .fig10_scalability import JETSON_RATE_MBPS, ZCU_RATE_MBPS, run_fig10a, run_fig10b
 from .fig_resilience import FAULT_RATES, RESILIENCE_RATE_MBPS, run_fig_resilience
+from .fig_saturation import (
+    OFFERED_LOADS,
+    SATURATION_DURATION,
+    detect_knee,
+    run_fig_saturation,
+)
 
 __all__ = [
     "run_once",
@@ -53,4 +59,8 @@ __all__ = [
     "run_fig_resilience",
     "FAULT_RATES",
     "RESILIENCE_RATE_MBPS",
+    "run_fig_saturation",
+    "detect_knee",
+    "OFFERED_LOADS",
+    "SATURATION_DURATION",
 ]

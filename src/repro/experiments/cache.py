@@ -54,6 +54,8 @@ __all__ = [
     "CACHE_SCHEMA",
     "DEFAULT_CACHE_DIR",
     "CacheStats",
+    "ResultCodec",
+    "RUN_CODEC",
     "SweepCache",
     "UncacheableCell",
     "cell_digest",
@@ -205,6 +207,37 @@ def _decode_result(data: dict) -> RunResult:
     )
 
 
+@dataclass(frozen=True)
+class ResultCodec:
+    """How one result type round-trips through a cache entry.
+
+    The cache stores whatever a codec encodes; ``kind`` tags the entry so a
+    digest can never decode under the wrong codec (kind participates in the
+    load-time recheck, like the stored key).  ``cacheable`` is the storage
+    gate - results that would not survive a JSON round trip bit-identically
+    must return False and simply run every time.  The default
+    :data:`RUN_CODEC` handles batch :class:`RunResult` cells and keeps the
+    original entry layout exactly (its kind is the implicit default, so
+    pre-codec entries stay valid); the serve tier registers its own codec
+    for :class:`~repro.serve.driver.ServeResult` cells.
+    """
+
+    kind: str
+    encode: Any
+    decode: Any
+    cacheable: Any = staticmethod(lambda result: True)
+
+
+#: the original batch-sweep codec; entries it writes omit the ``kind`` field
+#: so every pre-codec cache entry on disk still decodes under it.
+RUN_CODEC = ResultCodec(
+    kind="run/1",
+    encode=_encode_result,
+    decode=_decode_result,
+    cacheable=lambda result: result.telemetry is None,
+)
+
+
 @dataclass
 class CacheStats:
     """Counters for one cache handle's lifetime (reported by the CLI)."""
@@ -251,8 +284,12 @@ class SweepCache:
             self.stats.uncacheable += 1
             return None
 
-    def get(self, cell: tuple, probe: Any = _UNPROBED) -> Optional[RunResult]:
+    def get(
+        self, cell: tuple, probe: Any = _UNPROBED, codec: Optional[ResultCodec] = None
+    ) -> Optional[RunResult]:
         """Stored result for *cell*, or ``None`` (counted as a miss)."""
+        if codec is None:
+            codec = RUN_CODEC
         if probe is _UNPROBED:
             probe = self.probe(cell)
         if probe is None:
@@ -274,18 +311,28 @@ class SweepCache:
                 # schema drift, hash collision, or encoder bug: the stored
                 # key is re-checked so none of those can surface wrong data
                 raise ValueError("cache entry does not match its cell")
-            result = _decode_result(entry["result"])
+            if entry.get("kind", RUN_CODEC.kind) != codec.kind:
+                raise ValueError("cache entry kind does not match its codec")
+            result = codec.decode(entry["result"])
         except (ValueError, KeyError, TypeError):
             self._drop_corrupt(path)
             return None
         self.stats.hits += 1
         return result
 
-    def put(self, cell: tuple, result: RunResult, probe: Any = _UNPROBED) -> bool:
+    def put(
+        self,
+        cell: tuple,
+        result: RunResult,
+        probe: Any = _UNPROBED,
+        codec: Optional[ResultCodec] = None,
+    ) -> bool:
         """Persist *result* under *cell*'s digest; True if stored."""
-        if result.telemetry is not None:
-            # telemetry exports carry tuples that do not survive a JSON
-            # round trip bit-identically; such runs stay uncached
+        if codec is None:
+            codec = RUN_CODEC
+        if not codec.cacheable(result):
+            # e.g. telemetry exports carry tuples that do not survive a
+            # JSON round trip bit-identically; such runs stay uncached
             self.stats.uncacheable += 1
             return False
         if probe is _UNPROBED:
@@ -293,7 +340,9 @@ class SweepCache:
         if probe is None:
             return False
         digest, key = probe
-        entry = {"schema": CACHE_SCHEMA, "key": key, "result": _encode_result(result)}
+        entry = {"schema": CACHE_SCHEMA, "key": key, "result": codec.encode(result)}
+        if codec.kind != RUN_CODEC.kind:
+            entry["kind"] = codec.kind
         self.root.mkdir(parents=True, exist_ok=True)
         path = self._path(digest)
         fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")

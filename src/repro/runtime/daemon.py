@@ -240,6 +240,13 @@ class CedrRuntime:
         #: tasks sitting in a retry-backoff timer (failure seen, not yet
         #: re-enqueued); part of the shutdown drain condition.
         self._retry_limbo = 0
+        #: service-tier hook: called as ``on_app_finished(app)`` after an
+        #: application's completion bookkeeping (normal finish, cancel, or
+        #: failure).  The serve driver uses it for response-time accounting
+        #: and to release admission hold queues; plain state mutation plus
+        #: (pre-seal) re-submission only, so the hook composes with the
+        #: drain condition instead of racing it.  ``None`` costs one test.
+        self.on_app_finished: Optional[Any] = None
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -265,7 +272,20 @@ class CedrRuntime:
             self._sampler.arm()
 
     def submit(self, app: AppInstance, at: float) -> None:
-        """Schedule *app* to arrive over IPC at simulated time ``at``."""
+        """Schedule *app* to arrive over IPC at simulated time ``at``.
+
+        Open-stream submissions (the service tier, trace replays, releases
+        from an admission hold queue) may pass an ``at`` that is already in
+        the past.  Those are admitted *now* through the engine's
+        clamp-to-now timer path: the arrival fires at the current instant,
+        strictly **after** any arrival already scheduled at that instant
+        (timers pop in ``(when, seq)`` order, and a clamped timer gets a
+        fresh seq) - so late submissions never jump ahead of same-instant
+        work, and submission order is preserved among them.  Every clamp is
+        counted in ``engine.late_timers`` and, with telemetry enabled, the
+        ``simcore_late_timers_total`` metric (pinned by the late-submit
+        regression tests).
+        """
         if self._sealed:
             raise RuntimeError("runtime already sealed; no further submissions")
         self._submitted += 1
@@ -573,6 +593,8 @@ class CedrRuntime:
         if self.telemetry is not None:
             self.telemetry.record_app_completed()
         self._completed += 1
+        if self.on_app_finished is not None:
+            self.on_app_finished(app)
 
     def _schedule_round(self) -> Generator[Request, Any, None]:
         batch, self.ready = self.ready, []

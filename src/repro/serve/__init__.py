@@ -1,0 +1,52 @@
+"""repro.serve - the open-stream service tier over the CEDR runtime.
+
+Promotes :class:`~repro.runtime.CedrRuntime` from a closed-batch simulator
+into a long-running service: seeded arrival generators feed an admission
+controller that submits applications to the live daemon, with per-tenant
+SLO accounting and graceful drain on duration expiry.  See
+docs/INTERNALS.md, "Service mode & admission control".
+"""
+
+from .admission import (
+    ADMISSION_POLICIES,
+    AdmissionConfig,
+    AdmissionController,
+    TokenBucket,
+)
+from .arrival import (
+    ArrivalSpec,
+    arrival_rate,
+    available_arrivals,
+    make_arrival_stream,
+    register_arrival,
+)
+from .driver import (
+    ServeConfig,
+    ServeDriver,
+    ServeResult,
+    TenantSpec,
+    TenantStats,
+    serve_codec,
+    serve_once,
+    serve_trials,
+)
+
+__all__ = [
+    "ADMISSION_POLICIES",
+    "AdmissionConfig",
+    "AdmissionController",
+    "ArrivalSpec",
+    "ServeConfig",
+    "ServeDriver",
+    "ServeResult",
+    "TenantSpec",
+    "TenantStats",
+    "TokenBucket",
+    "arrival_rate",
+    "available_arrivals",
+    "make_arrival_stream",
+    "register_arrival",
+    "serve_codec",
+    "serve_once",
+    "serve_trials",
+]

@@ -121,6 +121,33 @@ class Histogram:
             out.append(running)
         return out
 
+    def quantile(self, q: float) -> float:
+        """Estimated *q*-quantile, Prometheus ``histogram_quantile`` style.
+
+        Linear interpolation inside the bucket holding the *q*-th
+        observation (bucket floors at 0 below the first bound); the +Inf
+        tail clamps to the highest finite bound - an underestimate, which
+        is the conservative direction for the admission controller's p99
+        backpressure signal (it sheds later, never spuriously).  Pure
+        arithmetic over recorded counts: deterministic, and 0.0 with no
+        observations.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        running = 0
+        for i, c in enumerate(self.counts):
+            running += c
+            if running >= target and c > 0:
+                if i >= len(self.bounds):   # +Inf tail: clamp
+                    return self.bounds[-1]
+                lo = self.bounds[i - 1] if i > 0 else 0.0
+                hi = self.bounds[i]
+                return lo + (hi - lo) * (target - (running - c)) / c
+        return self.bounds[-1]
+
     def state(self) -> dict[str, Any]:
         return {
             "bounds": list(self.bounds),

@@ -9,17 +9,30 @@ input data arrival for the given workload."
 
 So each application stream is periodic with period ``frame_mb / rate``;
 instance ``j`` of an application arrives at ``j * period``.
+
+The arrival *processes* themselves live in the arrival-generator registry
+(:mod:`repro.serve.arrival`) - one code path shared with the open-stream
+service mode.  :func:`periodic_arrivals` / :func:`poisson_arrivals` are
+kept as the closed-batch convenience API: they translate (frame, Mbps)
+into an :class:`~repro.serve.arrival.ArrivalSpec` and take the first
+``count`` instants of the stream, bit-identical to the vectorized
+schedules they used to compute inline (pinned by the workload tests).
 """
 
 from __future__ import annotations
 
+from itertools import islice
+
 import numpy as np
+
+from repro.serve.arrival import ArrivalSpec, make_arrival_stream
 
 __all__ = [
     "paper_injection_rates",
     "reduced_injection_rates",
     "periodic_arrivals",
     "poisson_arrivals",
+    "stream_spec",
 ]
 
 
@@ -43,20 +56,46 @@ def reduced_injection_rates(n: int = 8) -> np.ndarray:
     return paper_injection_rates(n=n)
 
 
-def periodic_arrivals(frame_mb: float, rate_mbps: float, count: int) -> np.ndarray:
-    """Arrival times of ``count`` periodic instances of one application.
+def stream_spec(
+    kind: str,
+    frame_mb: float,
+    rate_mbps: float,
+    extra: tuple[tuple[str, float], ...] = (),
+) -> ArrivalSpec:
+    """The :class:`ArrivalSpec` of one application stream at one Mbps rate.
 
-    The first instance arrives at t=0; subsequent ones every
-    ``frame_mb / rate_mbps`` seconds.
+    The paper's unit conversion lives here, once: a stream injecting
+    ``rate_mbps`` with ``frame_mb`` per instance has mean inter-arrival
+    ``frame_mb / rate_mbps`` seconds.  The quotient is passed through as
+    the ``period`` parameter exactly (never re-derived from a rate), so
+    registry-routed schedules stay bit-identical to the historical inline
+    ones.  ``extra`` forwards process-specific parameters (burst/idle
+    lengths, envelope cycle, ...) verbatim.
     """
     if frame_mb <= 0:
         raise ValueError(f"frame size must be positive, got {frame_mb}")
     if rate_mbps <= 0:
         raise ValueError(f"injection rate must be positive, got {rate_mbps}")
+    period = frame_mb / rate_mbps
+    return ArrivalSpec(kind, (("period", period), *extra))
+
+
+def _take(spec: ArrivalSpec, count: int, rng: np.random.Generator) -> np.ndarray:
     if count < 0:
         raise ValueError(f"negative instance count: {count}")
-    period = frame_mb / rate_mbps
-    return np.arange(count) * period
+    stream = make_arrival_stream(spec, rng)
+    return np.asarray(list(islice(stream, count)), dtype=np.float64)
+
+
+def periodic_arrivals(frame_mb: float, rate_mbps: float, count: int) -> np.ndarray:
+    """Arrival times of ``count`` periodic instances of one application.
+
+    The first instance arrives at t=0; subsequent ones every
+    ``frame_mb / rate_mbps`` seconds.  Routed through the ``periodic``
+    registry generator; bit-identical to ``np.arange(count) * period``.
+    """
+    spec = stream_spec("periodic", frame_mb, rate_mbps)
+    return _take(spec, count, np.random.default_rng(0))  # rng unused
 
 
 def poisson_arrivals(
@@ -72,14 +111,10 @@ def poisson_arrivals(
     periodic streams; Poisson arrivals are the standard bursty alternative
     and feed the arrival-process ablations.  The first instance arrives
     after an exponential gap (not pinned to t=0), so the mean inter-arrival
-    matches the periodic stream's ``frame_mb / rate_mbps``.
+    matches the periodic stream's ``frame_mb / rate_mbps``.  Routed
+    through the ``poisson`` registry generator, whose sequential scalar
+    gap draws are bit-identical to the historical vectorized
+    ``rng.exponential(mean, size=count)`` + ``cumsum`` schedule.
     """
-    if frame_mb <= 0:
-        raise ValueError(f"frame size must be positive, got {frame_mb}")
-    if rate_mbps <= 0:
-        raise ValueError(f"injection rate must be positive, got {rate_mbps}")
-    if count < 0:
-        raise ValueError(f"negative instance count: {count}")
-    mean_gap = frame_mb / rate_mbps
-    gaps = rng.exponential(mean_gap, size=count)
-    return np.cumsum(gaps)
+    spec = stream_spec("poisson", frame_mb, rate_mbps)
+    return _take(spec, count, rng)

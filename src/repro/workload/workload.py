@@ -17,11 +17,14 @@ from typing import Optional
 
 import numpy as np
 
+from itertools import islice
+
 from repro.apps import CedrApplication, LaneDetection, PulseDoppler, Variant, WifiTx
 from repro.runtime.app import AppInstance
+from repro.serve.arrival import available_arrivals, make_arrival_stream
 from repro.simcore import child_rng
 
-from .injection import periodic_arrivals, poisson_arrivals
+from .injection import stream_spec
 
 __all__ = [
     "WorkloadEntry",
@@ -48,20 +51,27 @@ class WorkloadEntry:
 class WorkloadSpec:
     """A mix of application streams.
 
-    ``arrival_process`` selects how each stream's instances arrive:
-    ``"periodic"`` is the paper's definition (instance *j* at
-    ``j * frame_mb / rate``); ``"poisson"`` keeps the same mean rate with
-    exponential gaps (CEDR's arbitrary-trace injection, used by the
-    arrival-process ablation).
+    ``arrival_process`` names any generator in the arrival registry
+    (:mod:`repro.serve.arrival`): ``"periodic"`` is the paper's definition
+    (instance *j* at ``j * frame_mb / rate``); ``"poisson"`` keeps the
+    same mean rate with exponential gaps (CEDR's arbitrary-trace
+    injection, used by the arrival-process ablation); ``"bursty"`` /
+    ``"diurnal"`` / ``"trace"`` open the same ablation to the service
+    tier's processes.  ``arrival_params`` forwards process-specific
+    parameters (e.g. ``(("burst_len", 0.02),)``) into the generator.
     """
 
     name: str
     entries: tuple[WorkloadEntry, ...]
     arrival_process: str = "periodic"
+    arrival_params: tuple[tuple[str, float], ...] = ()
 
     def __post_init__(self) -> None:
-        if self.arrival_process not in ("periodic", "poisson"):
-            raise ValueError(f"unknown arrival process {self.arrival_process!r}")
+        if self.arrival_process not in available_arrivals():
+            raise ValueError(
+                f"unknown arrival process {self.arrival_process!r}; "
+                f"available: {available_arrivals()}"
+            )
 
     @property
     def total_instances(self) -> int:
@@ -79,14 +89,24 @@ class WorkloadSpec:
         """
         out: list[tuple[AppInstance, float]] = []
         for entry in self.entries:
-            if self.arrival_process == "periodic":
-                arrivals = periodic_arrivals(entry.app.frame_mb, rate_mbps, entry.count)
-            else:
-                arrival_rng = child_rng(
-                    seed, f"arrivals.{self.name}.{entry.app.name}"
-                )
-                arrivals = poisson_arrivals(
-                    entry.app.frame_mb, rate_mbps, entry.count, arrival_rng
+            # one registry stream per (entry, rate): the spec carries the
+            # exact frame_mb / rate_mbps period, the RNG label is the
+            # historical per-stream one, so periodic/poisson schedules are
+            # bit-identical to the pre-registry inline code paths
+            spec = stream_spec(
+                self.arrival_process, entry.app.frame_mb, rate_mbps,
+                extra=self.arrival_params,
+            )
+            arrival_rng = child_rng(seed, f"arrivals.{self.name}.{entry.app.name}")
+            arrivals = list(
+                islice(make_arrival_stream(spec, arrival_rng), entry.count)
+            )
+            if len(arrivals) < entry.count:
+                raise ValueError(
+                    f"arrival process {self.arrival_process!r} produced only "
+                    f"{len(arrivals)} of {entry.count} instances for stream "
+                    f"{entry.app.name!r} (finite trace shorter than the "
+                    f"workload - add loop= or shrink the stream)"
                 )
             rng = child_rng(seed, f"workload.{self.name}.{entry.app.name}")
             for j, t in enumerate(arrivals):

@@ -1,0 +1,167 @@
+"""Admission controller: quotas, policies, weighted release, boundedness."""
+
+import pytest
+
+from repro.serve import ADMISSION_POLICIES, AdmissionConfig, AdmissionController, TokenBucket
+
+
+def controller(policy="shed", tenants=(("a", 1.0),), **knobs):
+    return AdmissionController(
+        AdmissionConfig(policy=policy, **knobs), list(tenants)
+    )
+
+
+class TestConfig:
+    def test_policies(self):
+        assert ADMISSION_POLICIES == ("block", "shed", "degrade")
+        with pytest.raises(ValueError, match="unknown admission policy"):
+            AdmissionConfig(policy="drop")
+
+    @pytest.mark.parametrize("knobs", [
+        {"max_in_system": 0},
+        {"queue_cap": -1},
+        {"quota_rate": -1.0},
+        {"p99_limit_s": -0.1},
+    ])
+    def test_validation(self, knobs):
+        with pytest.raises(ValueError):
+            AdmissionConfig(**knobs)
+
+    def test_tenants_required_and_weighted(self):
+        with pytest.raises(ValueError, match="at least one tenant"):
+            AdmissionController(AdmissionConfig(), [])
+        with pytest.raises(ValueError, match="weight must be positive"):
+            AdmissionController(AdmissionConfig(), [("a", 0.0)])
+
+
+class TestTokenBucket:
+    def test_starts_full_then_meters(self):
+        bucket = TokenBucket(rate=10.0, burst=2.0)
+        assert bucket.take(0.0) and bucket.take(0.0)
+        assert not bucket.take(0.0)          # burst exhausted
+        assert bucket.take(0.1)              # 0.1 s * 10/s = 1 token back
+        assert not bucket.take(0.1)
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate=100.0, burst=3.0)
+        for _ in range(3):
+            assert bucket.take(0.0)
+        for _ in range(3):
+            assert bucket.take(10.0)         # long idle refills to burst only
+        assert not bucket.take(10.0)
+
+
+class TestDecisions:
+    def test_admit_below_every_limit(self):
+        ctl = controller()
+        assert ctl.decide("a", 0.0) == "admit"
+
+    def test_quota_exhaustion_sheds(self):
+        ctl = controller(quota_rate=1.0, quota_burst=2.0)
+        assert ctl.decide("a", 0.0) == "admit"
+        assert ctl.decide("a", 0.0) == "admit"
+        assert ctl.decide("a", 0.0) == "shed"
+
+    def test_in_system_cap_pressures(self):
+        ctl = controller(max_in_system=1)
+        assert ctl.decide("a", 0.0) == "admit"
+        ctl.admitted("a")
+        assert ctl.decide("a", 0.0) == "shed"
+        ctl.finished("a")
+        assert ctl.decide("a", 0.0) == "admit"
+
+    def test_backpressure_signals(self):
+        ctl = controller(ready_depth_limit=4, p99_limit_s=0.1)
+        assert ctl.decide("a", 0.0, ready_depth=4, p99_s=0.1) == "admit"
+        assert ctl.decide("a", 0.0, ready_depth=5) == "shed"
+        assert ctl.decide("a", 0.0, p99_s=0.2) == "shed"
+
+    def test_degrade_policy_always_takes(self):
+        ctl = controller(policy="degrade", max_in_system=1)
+        ctl.admitted("a")
+        assert ctl.decide("a", 0.0) == "degrade"
+
+    def test_block_holds_until_queue_cap_then_sheds(self):
+        ctl = controller(policy="block", max_in_system=1, queue_cap=2)
+        ctl.admitted("a")
+        for expected in ("hold", "hold", "shed"):
+            decision = ctl.decide("a", 0.0)
+            assert decision == expected
+            if decision == "hold":
+                ctl.push("a", object())
+
+    def test_push_overflow_and_finish_underflow_raise(self):
+        ctl = controller(policy="block", max_in_system=1, queue_cap=1)
+        ctl.push("a", 1)
+        with pytest.raises(RuntimeError, match="overflow"):
+            ctl.push("a", 2)
+        with pytest.raises(RuntimeError, match="finish without admit"):
+            ctl.finished("a")
+
+
+class TestRelease:
+    def test_release_respects_capacity(self):
+        ctl = controller(policy="block", max_in_system=2, queue_cap=4)
+        for item in range(3):
+            ctl.push("a", item)
+        out = ctl.release()
+        assert [item for _, item in out] == [0, 1]    # FIFO per tenant
+        for tenant, _ in out:
+            ctl.admitted(tenant)
+        assert ctl.release() == []                    # at capacity now
+        ctl.finished("a")
+        assert [item for _, item in ctl.release()] == [2]
+
+    def test_weighted_fair_release_follows_stride(self):
+        ctl = controller(
+            policy="block", tenants=[("a", 2.0), ("b", 1.0)],
+            max_in_system=12, queue_cap=8,
+        )
+        for item in range(8):
+            ctl.push("a", item)
+            ctl.push("b", item)
+        order = [tenant for tenant, _ in ctl.release()]
+        # stride: a releases twice as often; ties break in tenant order
+        assert order == ["a", "b", "a", "a", "b", "a", "a", "b", "a", "a", "b", "a"]
+
+    def test_high_water_marks(self):
+        ctl = controller(policy="block", max_in_system=3, queue_cap=5)
+        for _ in range(3):
+            ctl.admitted("a")
+        ctl.finished("a")
+        for item in range(4):
+            ctl.push("a", item)
+        assert ctl.in_system_hwm == 3
+        assert ctl.hold_hwm("a") == 4
+        assert ctl.held() == 4
+
+
+class TestOverloadBound:
+    """Admission provably bounds the system at any overload factor."""
+
+    @pytest.mark.parametrize("policy", ["block", "shed"])
+    def test_two_x_overload_never_exceeds_caps(self, policy):
+        # offered load: 2x the drain rate, forever; the in-system count and
+        # every hold queue must stay bounded by construction while the
+        # excess sheds
+        cfg = AdmissionConfig(policy=policy, max_in_system=8, queue_cap=4)
+        ctl = AdmissionController(cfg, [("a", 1.0), ("b", 1.0)])
+        shed = 0
+        for step in range(4000):
+            tenant = ("a", "b")[step % 2]
+            decision = ctl.decide(tenant, now=step * 1e-3)
+            if decision == "admit":
+                ctl.admitted(tenant)
+            elif decision == "hold":
+                ctl.push(tenant, step)
+            else:
+                shed += 1
+            if step % 2 == 0 and ctl.in_system > 0:   # drain at half the rate
+                ctl.finished(tenant)
+                for name, _ in ctl.release():
+                    ctl.admitted(name)
+            assert ctl.in_system <= cfg.max_in_system
+            assert ctl.held() <= 2 * cfg.queue_cap
+        assert ctl.in_system_hwm <= cfg.max_in_system
+        assert max(ctl.hold_hwm("a"), ctl.hold_hwm("b")) <= cfg.queue_cap
+        assert shed > 1000   # the overload had to go somewhere

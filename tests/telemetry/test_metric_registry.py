@@ -53,6 +53,26 @@ def test_histogram_validates_bounds():
         Histogram((1.0, float("inf")))
 
 
+def test_histogram_quantile_interpolates():
+    h = Histogram((1.0, 2.0, 4.0))
+    for v in (0.5, 0.5, 1.5, 1.5, 1.5, 1.5, 3.0, 3.0, 3.0, 3.0):
+        h.observe(v)
+    # median: target 5 falls in (1, 2] with 2 below it -> 1 + (5-2)/4
+    assert h.quantile(0.5) == pytest.approx(1.75)
+    # q=0.2 stays in the first bucket, floored at 0
+    assert h.quantile(0.2) == pytest.approx(1.0)
+    assert h.quantile(1.0) == pytest.approx(4.0)
+
+
+def test_histogram_quantile_edge_cases():
+    h = Histogram((1.0, 2.0))
+    assert h.quantile(0.99) == 0.0          # no observations yet
+    h.observe(50.0)                          # +Inf tail only
+    assert h.quantile(0.99) == 2.0           # clamps to the last finite bound
+    with pytest.raises(ValueError, match=r"\[0, 1\]"):
+        h.quantile(1.5)
+
+
 # --------------------------------------------------------------------- #
 # families and the registry
 # --------------------------------------------------------------------- #
