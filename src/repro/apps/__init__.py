@@ -10,6 +10,7 @@ accelerator).
 from .base import CedrApplication, Variant, chunk_slices, work_for_elems
 from .lane_detection import LaneDetection
 from .pulse_doppler import PulseDoppler
+from .registry import APPS, AppEntry, available_apps, make_app, register_app
 from .temporal_mitigation import TemporalMitigation, TMResult
 from .wifi_rx import RxResult, WifiRx
 from .wifi_tx import WifiTx
@@ -18,6 +19,11 @@ from .wifi_tx import WifiTx
 PAPER_APPS = ("PD", "TX", "LD")
 
 __all__ = [
+    "APPS",
+    "AppEntry",
+    "register_app",
+    "make_app",
+    "available_apps",
     "CedrApplication",
     "Variant",
     "chunk_slices",

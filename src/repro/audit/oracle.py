@@ -12,6 +12,9 @@ indistinguishable -
 ``scalar``      scalar ``estimate(task, pe)`` vs vectorized columnar rounds
 ``telemetry``   telemetry off vs on (identical outside the snapshot field)
 ``audit``       online auditor off vs on
+``scenario``    flag-driven sweep vs the equivalent declarative
+                :class:`~repro.scenario.ScenarioSpec` (opt-in: pass a
+                ``scenario=`` template)
 
 - and diffs every :class:`~repro.metrics.RunResult` field-by-field,
 bit-exactly.  :func:`diff_results` / :func:`assert_identical` are the
@@ -212,6 +215,7 @@ def diff_run(
     jobs: int = 2,
     cache_dir: Optional[str] = None,
     variants: Sequence[str] = DEFAULT_VARIANTS,
+    scenario=None,
 ) -> OracleReport:
     """Run one grid under every paired configuration and diff the results.
 
@@ -220,13 +224,29 @@ def diff_run(
     bit-for-bit.  The ``cache`` variant additionally audits the cache's own
     books: a cold pass must miss-and-store every cell, a warm pass must hit
     every cell without simulating anything.
+
+    The opt-in ``scenario`` variant takes a run-kind
+    :class:`~repro.scenario.ScenarioSpec` template, sweeps it across the
+    same rate grid via :func:`~repro.scenario.run_scenario`, and requires
+    the declarative route to reproduce the flag-built baseline bit-for-bit
+    - the proof behind ``repro audit diff --scenario``.
     """
-    unknown = set(variants) - set(DEFAULT_VARIANTS)
+    unknown = set(variants) - set(DEFAULT_VARIANTS) - {"scenario"}
     if unknown:
         raise KeyError(
             f"unknown oracle variant(s) {sorted(unknown)}; "
-            f"available: {DEFAULT_VARIANTS}"
+            f"available: {(*DEFAULT_VARIANTS, 'scenario')}"
         )
+    if "scenario" in variants:
+        if scenario is None:
+            raise ValueError(
+                "the 'scenario' variant needs a ScenarioSpec template "
+                "(pass scenario=...)"
+            )
+        if scenario.kind != "run":
+            raise ValueError(
+                f"diff_run needs a run-kind scenario, got {scenario.kind!r}"
+            )
     base_config = (
         config
         if config is not None
@@ -303,6 +323,16 @@ def diff_run(
             other = "heap" if base_config.event_core == "wheel" else "wheel"
             cfg = base_config.with_event_core(other)
             outcomes.append(_compare(variant, baseline, grid(cfg)))
+        elif variant == "scenario":
+            from repro.scenario import run_scenario
+
+            declarative: list[RunResult] = []
+            for rate in rates:
+                cell = dataclasses.replace(scenario, rate_mbps=float(rate))
+                declarative.extend(
+                    run_scenario(cell, trials=trials, base_seed=base_seed)
+                )
+            outcomes.append(_compare(variant, baseline, declarative))
     return OracleReport(
         label=f"{platform.name}/{workload.name}/{mode}/{scheduler}",
         cells=len(baseline),
@@ -342,6 +372,7 @@ def diff_serve(
     jobs: int = 2,
     cache_dir: Optional[str] = None,
     variants: Sequence[str] = SERVE_VARIANTS,
+    scenario=None,
 ) -> OracleReport:
     """The serve-mode differential oracle behind ``repro audit diff --serve``.
 
@@ -353,15 +384,29 @@ def diff_serve(
     *variants* and diffs each :class:`~repro.serve.driver.ServeResult` -
     SLO ledger and embedded batch result both - bit-exactly against the
     serial baseline.
+
+    Like :func:`diff_run`, the opt-in ``scenario`` variant replays a
+    serve-kind :class:`~repro.scenario.ScenarioSpec` template over the
+    same trial grid and requires bit-identity with the flag-built config.
     """
     from repro.serve.driver import serve_trials
 
-    unknown = set(variants) - set(SERVE_VARIANTS)
+    unknown = set(variants) - set(SERVE_VARIANTS) - {"scenario"}
     if unknown:
         raise KeyError(
             f"unknown serve oracle variant(s) {sorted(unknown)}; "
-            f"available: {SERVE_VARIANTS}"
+            f"available: {(*SERVE_VARIANTS, 'scenario')}"
         )
+    if "scenario" in variants:
+        if scenario is None:
+            raise ValueError(
+                "the 'scenario' variant needs a ScenarioSpec template "
+                "(pass scenario=...)"
+            )
+        if scenario.kind != "serve":
+            raise ValueError(
+                f"diff_serve needs a serve-kind scenario, got {scenario.kind!r}"
+            )
     base_config = (
         config
         if config is not None
@@ -421,6 +466,13 @@ def diff_serve(
             other = "heap" if base_config.event_core == "wheel" else "wheel"
             cfg = base_config.with_event_core(other)
             outcomes.append(_compare_serve(variant, baseline, grid(cfg)))
+        elif variant == "scenario":
+            from repro.scenario import run_scenario
+
+            declarative = run_scenario(
+                scenario, trials=trials, base_seed=base_seed
+            )
+            outcomes.append(_compare_serve(variant, baseline, declarative))
     tenant_names = "+".join(t.name for t in serve.tenants)
     return OracleReport(
         label=f"{platform.name}/serve[{tenant_names}]/{serve.scheduler}",

@@ -9,53 +9,155 @@ reproduction's equivalent front end::
         --mode api --scheduler heft_rt --rate 200
     python -m repro run --platform jetson --apps LD:1,PD:2 --trace out.json
     python -m repro run --apps PD:2 --metrics-out out/metrics --metrics-interval 0.01
+    python -m repro scenario run examples/scenarios/radar_zcu102.toml
     python -m repro figure fig5
     python -m repro figure fig10a --trials 2
     python -m repro telemetry
 
 ``run`` prints the paper's three metrics for the run (plus optional energy
-and a Chrome trace dump); ``figure`` prints the regenerated series tables
-of the requested evaluation figure; ``telemetry`` prints the metric
+and a Chrome trace dump); ``scenario`` validates/lists/executes declarative
+TOML/JSON experiment documents; ``figure`` prints the regenerated series
+tables of the requested evaluation figure; ``telemetry`` prints the metric
 catalog the telemetry subsystem exports (names, types, bucket ladders).
+
+Every extension axis the CLI exposes - platforms, applications, workload
+presets, schedulers, arrival processes, fault kinds, figures - is driven
+by the corresponding :mod:`repro.registry` registry, so argparse choices,
+``repro list`` output, and dispatch are all one table, and third-party
+plugins appear everywhere at once.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import warnings
 from typing import Optional, Sequence
 
-from repro.apps import (
-    LaneDetection,
-    PulseDoppler,
-    TemporalMitigation,
-    WifiRx,
-    WifiTx,
+from repro.apps import APPS, available_apps
+from repro.metrics import RunResult
+from repro.platforms import (
+    PLATFORMS,
+    available_platforms,
+    estimate_energy,
+    make_platform,
 )
-from repro.metrics import RunResult, format_series_table
-from repro.platforms import estimate_energy, jetson, zcu102, zcu102_biglittle
 from repro.runtime import CedrRuntime, RuntimeConfig
 from repro.runtime.trace import write_chrome_trace
 from repro.sched import available_schedulers
+from repro.serve.admission import ADMISSION_POLICIES
+from repro.simcore import DEFAULT_EVENT_CORE, EVENT_CORES
 from repro.workload import WorkloadEntry, WorkloadSpec
 
 __all__ = ["main", "build_parser"]
 
-#: registered application constructors (CLI defaults keep runs snappy)
-APP_FACTORIES = {
-    "PD": lambda: PulseDoppler(batch=8),
-    "TX": lambda: WifiTx(batch=5),
-    "RX": lambda: WifiRx(batch=5),
-    "LD": lambda: LaneDetection(height=135, width=240, batch=32),
-    "TM": lambda: TemporalMitigation(n_blocks=32),
+MODES = ("dag", "api")
+
+#: platform parameters the oracle sweeps use (match the figure configs)
+AUDIT_PLATFORM_PARAMS = {
+    "zcu102": (("cpu", 3), ("fft", 1)),
+    "jetson": (("cpu", 3),),
+    "zcu102-biglittle": (("cpu", 3), ("fft", 1), ("little", 4), ("mmult", 0)),
 }
 
-PLATFORM_NAMES = ("zcu102", "jetson", "zcu102-biglittle")
-FIGURE_IDS = ("fig5", "fig67", "fig8", "fig9", "fig10a", "fig10b", "resilience",
-              "saturation")
+_DEPRECATED_ATTRS = {
+    "APP_FACTORIES": "repro.apps.APPS",
+    "PLATFORM_NAMES": "repro.platforms.available_platforms()",
+    "FIGURE_IDS": "repro.experiments.available_figures()",
+}
+
+
+def __getattr__(name: str):
+    """Deprecated module constants, now thin views over the registries."""
+    if name in _DEPRECATED_ATTRS:
+        warnings.warn(
+            f"repro.cli.{name} is deprecated; use {_DEPRECATED_ATTRS[name]}",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if name == "APP_FACTORIES":
+            return {app: entry.factory for app, entry in APPS.items()}
+        if name == "PLATFORM_NAMES":
+            return tuple(available_platforms())
+        from repro.experiments import available_figures
+
+        return tuple(available_figures())
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+# --------------------------------------------------------------------- #
+# shared option groups (one definition, every subcommand)
+# --------------------------------------------------------------------- #
+
+
+def _add_platform_options(parser, *, params: bool = True,
+                          help: str = "") -> None:
+    """The ``--platform`` family shared by run/serve/audit."""
+    parser.add_argument("--platform", choices=available_platforms(),
+                        default="zcu102", help=help or None)
+    if not params:
+        return
+    parser.add_argument("--cpu", type=int, default=None,
+                        help="CPU worker PEs (platform default if omitted)")
+    parser.add_argument("--fft", type=int, default=1,
+                        help="FFT accelerators (ZCU102)")
+    parser.add_argument("--mmult", type=int, default=0,
+                        help="MMULT accelerators (ZCU102)")
+    parser.add_argument("--little", type=int, default=4,
+                        help="LITTLE cores (zcu102-biglittle only)")
+    parser.add_argument("--gpu", type=int, default=None,
+                        help="GPU accelerators (jetson only)")
+
+
+def _add_mode_option(parser) -> None:
+    parser.add_argument("--mode", choices=MODES, default="api")
+
+
+def _add_event_core_option(parser, *, long_help: bool = False) -> None:
+    help_text = "simulator timer-queue implementation"
+    if long_help:
+        help_text += (": calendar-queue timer wheel (default) or the "
+                      "reference binary heap; results are bit-identical "
+                      "either way")
+    parser.add_argument("--event-core", choices=EVENT_CORES,
+                        default=DEFAULT_EVENT_CORE, help=help_text)
+
+
+def _add_admission_options(parser, *, default: str = "shed",
+                           caps: bool = True) -> None:
+    """The admission-control block shared by serve and ``audit diff``."""
+    parser.add_argument("--admission", choices=ADMISSION_POLICIES,
+                        default=default,
+                        help="policy for arrivals the system cannot take")
+    parser.add_argument("--slo-ms", type=float, default=50.0,
+                        help="per-tenant response-time objective, ms")
+    if not caps:
+        return
+    parser.add_argument("--max-in-system", type=int, default=32,
+                        help="admitted-but-unfinished cap across tenants")
+    parser.add_argument("--queue-cap", type=int, default=16,
+                        help="per-tenant hold-queue bound (block policy)")
+    parser.add_argument("--quota-rate", type=float, default=0.0,
+                        help="per-tenant token-bucket refill, arrivals/s "
+                             "(0 = unlimited)")
+
+
+def _add_cache_options(parser) -> None:
+    """The sweep-cache block shared by figure and ``scenario run``."""
+    cache = parser.add_mutually_exclusive_group()
+    cache.add_argument("--cache", action="store_true",
+                       help="reuse previously simulated sweep cells from the "
+                            "content-addressed cache (default dir "
+                            ".repro-cache/; see also $REPRO_CACHE)")
+    cache.add_argument("--no-cache", action="store_true",
+                       help="force caching off, overriding $REPRO_CACHE")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="cache directory (implies --cache)")
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro.experiments import available_figures
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="CEDR-API reproduction: run emulated DSSoC workloads "
@@ -63,28 +165,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list platforms, applications, and schedulers")
+    sub.add_parser("list", help="list every registered plugin axis "
+                                "(platforms, apps, schedulers, ...)")
 
     run = sub.add_parser("run", help="run a workload and print its metrics")
-    run.add_argument("--platform", choices=PLATFORM_NAMES, default="zcu102")
-    run.add_argument("--cpu", type=int, default=None,
-                     help="CPU worker PEs (platform default if omitted)")
-    run.add_argument("--fft", type=int, default=1, help="FFT accelerators (ZCU102)")
-    run.add_argument("--mmult", type=int, default=0, help="MMULT accelerators (ZCU102)")
-    run.add_argument("--little", type=int, default=4,
-                     help="LITTLE cores (zcu102-biglittle only)")
+    _add_platform_options(run)
     run.add_argument("--apps", default="PD:2,TX:2",
-                     help="comma list of NAME:COUNT (apps: %s)" % ",".join(APP_FACTORIES))
-    run.add_argument("--mode", choices=("dag", "api"), default="api")
+                     help="comma list of NAME:COUNT (apps: %s)"
+                          % ",".join(available_apps()))
+    _add_mode_option(run)
     run.add_argument("--scheduler", default="heft_rt")
     run.add_argument("--rate", type=float, default=200.0, help="injection rate, Mbps")
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--timing-only", action="store_true",
                      help="skip functional kernel execution")
-    run.add_argument("--event-core", choices=("heap", "wheel"), default="wheel",
-                     help="simulator timer-queue implementation: calendar-"
-                          "queue timer wheel (default) or the reference "
-                          "binary heap; results are bit-identical either way")
+    _add_event_core_option(run, long_help=True)
     run.add_argument("--energy", action="store_true", help="print an energy estimate")
     run.add_argument("--trace", metavar="PATH", default=None,
                      help="write a Chrome trace (chrome://tracing) to PATH")
@@ -132,19 +227,11 @@ def build_parser() -> argparse.ArgumentParser:
                     "simulated seconds, then drains gracefully and prints "
                     "the per-tenant SLO ledger.",
     )
-    serve.add_argument("--platform", choices=PLATFORM_NAMES, default="zcu102")
-    serve.add_argument("--cpu", type=int, default=None,
-                       help="CPU worker PEs (platform default if omitted)")
-    serve.add_argument("--fft", type=int, default=1,
-                       help="FFT accelerators (ZCU102)")
-    serve.add_argument("--mmult", type=int, default=0,
-                       help="MMULT accelerators (ZCU102)")
-    serve.add_argument("--little", type=int, default=4,
-                       help="LITTLE cores (zcu102-biglittle only)")
+    _add_platform_options(serve)
     serve.add_argument("--apps", default="PD:1,TX:1",
                        help="app mix cycled round-robin per tenant, comma "
                             "list of NAME:COUNT (apps: %s)"
-                            % ",".join(APP_FACTORIES))
+                            % ",".join(available_apps()))
     serve.add_argument("--duration", type=float, default=0.5,
                        help="service window, simulated seconds")
     serve.add_argument("--arrival", default="poisson:rate=100",
@@ -154,24 +241,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "of this process")
     serve.add_argument("--tenants", type=int, default=1,
                        help="number of identically configured tenants")
-    serve.add_argument("--admission", choices=("block", "shed", "degrade"),
-                       default="shed",
-                       help="policy for arrivals the system cannot take")
-    serve.add_argument("--slo-ms", type=float, default=50.0,
-                       help="per-tenant response-time objective, ms")
-    serve.add_argument("--max-in-system", type=int, default=32,
-                       help="admitted-but-unfinished cap across tenants")
-    serve.add_argument("--queue-cap", type=int, default=16,
-                       help="per-tenant hold-queue bound (block policy)")
-    serve.add_argument("--quota-rate", type=float, default=0.0,
-                       help="per-tenant token-bucket refill, arrivals/s "
-                            "(0 = unlimited)")
-    serve.add_argument("--mode", choices=("dag", "api"), default="api")
+    _add_admission_options(serve, default="shed")
+    _add_mode_option(serve)
     serve.add_argument("--scheduler", default="heft_rt")
     serve.add_argument("--seed", type=int, default=0)
-    serve.add_argument("--event-core", choices=("heap", "wheel"),
-                       default="wheel",
-                       help="simulator timer-queue implementation")
+    _add_event_core_option(serve)
     serve.add_argument("--audit", action="store_true",
                        help="run with the online schedule auditor enabled")
 
@@ -183,17 +257,18 @@ def build_parser() -> argparse.ArgumentParser:
                     "With the literal target 'diff': run one sweep under "
                     "paired configurations (serial vs --jobs, cached vs "
                     "uncached, scalar vs vectorized estimates, telemetry "
-                    "on/off, audit on/off, heap vs wheel event core) and "
+                    "on/off, audit on/off, heap vs wheel event core, and "
+                    "optionally flag-built vs declarative scenario) and "
                     "require bit-identical results.",
     )
     audit.add_argument("target",
                        help="path to a logbook JSON dump, or 'diff' to run "
                             "the differential oracle")
-    audit.add_argument("--platform", choices=PLATFORM_NAMES, default="zcu102",
-                       help="diff only: platform for the oracle sweep")
+    _add_platform_options(audit, params=False,
+                          help="diff only: platform for the oracle sweep")
     audit.add_argument("--apps", default="PD:1,TX:1",
                        help="diff only: workload, comma list of NAME:COUNT")
-    audit.add_argument("--mode", choices=("dag", "api"), default="api")
+    _add_mode_option(audit)
     audit.add_argument("--scheduler", default="etf")
     audit.add_argument("--rates", type=int, default=4,
                        help="diff only: injection-rate grid points")
@@ -209,6 +284,11 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--execute", action="store_true",
                        help="diff only: execute kernels functionally "
                             "instead of timing-only")
+    audit.add_argument("--scenario", action="store_true",
+                       help="diff only: add the 'scenario' pairing - build "
+                            "the equivalent declarative ScenarioSpec and "
+                            "require it to reproduce the flag-built sweep "
+                            "bit-for-bit")
     audit.add_argument("--serve", action="store_true",
                        help="diff only: run the serve-mode oracle instead "
                             "of the batch one (pairings: "
@@ -219,11 +299,7 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--arrival", default="poisson:rate=150",
                        help="diff --serve only: arrival process, "
                             "KIND:k=v,...")
-    audit.add_argument("--admission", choices=("block", "shed", "degrade"),
-                       default="block",
-                       help="diff --serve only: admission policy")
-    audit.add_argument("--slo-ms", type=float, default=50.0,
-                       help="diff --serve only: response-time objective, ms")
+    _add_admission_options(audit, default="block", caps=False)
 
     tel = sub.add_parser(
         "telemetry",
@@ -232,8 +308,42 @@ def build_parser() -> argparse.ArgumentParser:
     tel.add_argument("--json", action="store_true",
                      help="emit the catalog as JSON instead of a table")
 
+    scenario = sub.add_parser(
+        "scenario",
+        help="validate, list, or run declarative scenario specs",
+        description="Scenario documents (.toml/.json) name platform + "
+                    "workload + scheduler + faults + admission + telemetry "
+                    "+ seeds declaratively; 'run' executes one through the "
+                    "exact same code paths as the flag-driven commands "
+                    "(bit-identical, per 'repro audit diff --scenario').",
+    )
+    scn_sub = scenario.add_subparsers(dest="scenario_command", required=True)
+    scn_run = scn_sub.add_parser("run", help="execute one scenario document")
+    scn_run.add_argument("spec", help="path to a .toml/.json scenario document")
+    scn_run.add_argument("--trials", type=int, default=None,
+                         help="override the spec's trial count")
+    scn_run.add_argument("--seed", type=int, default=None,
+                         help="override the spec's base seed")
+    scn_run.add_argument("--jobs", type=int, default=None,
+                         help="worker processes for the trial sweep "
+                              "(-1 = all cores; default: $REPRO_JOBS or "
+                              "serial)")
+    scn_run.add_argument("--audit", action="store_true",
+                         help="force the online schedule auditor on, "
+                              "overriding the spec's [engine] audit flag")
+    _add_cache_options(scn_run)
+    scn_validate = scn_sub.add_parser(
+        "validate", help="validate scenario documents without running them")
+    scn_validate.add_argument("specs", nargs="+",
+                              help="scenario document paths")
+    scn_list = scn_sub.add_parser(
+        "list", help="list scenario documents with digests")
+    scn_list.add_argument("paths", nargs="*", default=["examples/scenarios"],
+                          help="spec files or directories to scan "
+                               "(default: examples/scenarios)")
+
     fig = sub.add_parser("figure", help="regenerate one evaluation figure")
-    fig.add_argument("id", choices=FIGURE_IDS)
+    fig.add_argument("id", choices=available_figures())
     fig.add_argument("--rates", type=int, default=6, help="injection-rate grid points")
     fig.add_argument("--trials", type=int, default=1)
     fig.add_argument("--seed", type=int, default=0)
@@ -246,15 +356,7 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument("--duration", type=float, default=None,
                      help="saturation figure only: service window per cell, "
                           "simulated seconds")
-    cache = fig.add_mutually_exclusive_group()
-    cache.add_argument("--cache", action="store_true",
-                       help="reuse previously simulated sweep cells from the "
-                            "content-addressed cache (default dir "
-                            ".repro-cache/; see also $REPRO_CACHE)")
-    cache.add_argument("--no-cache", action="store_true",
-                       help="force caching off, overriding $REPRO_CACHE")
-    fig.add_argument("--cache-dir", metavar="DIR", default=None,
-                     help="cache directory (implies --cache)")
+    _add_cache_options(fig)
     fig.add_argument("--audit", action="store_true",
                      help="run every sweep cell with the online schedule "
                           "auditor on (sets $REPRO_AUDIT so --jobs worker "
@@ -271,8 +373,10 @@ def _parse_apps(spec: str) -> list[tuple[str, int]]:
             continue
         name, _, count = part.partition(":")
         name = name.upper()
-        if name not in APP_FACTORIES:
-            raise SystemExit(f"unknown application {name!r}; options: {sorted(APP_FACTORIES)}")
+        if name not in APPS:
+            raise SystemExit(
+                f"unknown application {name!r}; options: {sorted(APPS.names())}"
+            )
         try:
             n = int(count) if count else 1
         except ValueError:
@@ -286,27 +390,52 @@ def _parse_apps(spec: str) -> list[tuple[str, int]]:
 
 
 def _make_platform(args) -> object:
-    if args.platform == "zcu102":
-        return zcu102(n_cpu=args.cpu if args.cpu is not None else 3,
-                      n_fft=args.fft, n_mmult=args.mmult)
-    if args.platform == "jetson":
-        return jetson(n_cpu=args.cpu if args.cpu is not None else 7)
-    return zcu102_biglittle(n_big=args.cpu if args.cpu is not None else 3,
-                            n_little=args.little, n_fft=args.fft,
-                            n_mmult=args.mmult)
+    """Build the platform from the shared ``--platform`` option group.
+
+    Only the flags the registered platform actually accepts are forwarded
+    (``--fft`` exists for every subcommand but only reaches platforms that
+    declare an ``fft`` parameter), so plugin platforms work with the stock
+    option group.
+    """
+    entry = PLATFORMS.get(args.platform)
+    flags = {
+        "cpu": args.cpu,
+        "fft": args.fft,
+        "mmult": args.mmult,
+        "little": args.little,
+        "gpu": getattr(args, "gpu", None),
+    }
+    params = {
+        k: v for k, v in flags.items() if k in entry.params and v is not None
+    }
+    try:
+        return entry.build_config(**params)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
 
 
 def _cmd_list() -> int:
-    print("platforms :", ", ".join(PLATFORM_NAMES))
-    print("apps      :", ", ".join(sorted(APP_FACTORIES)))
-    print("schedulers:", ", ".join(available_schedulers()))
-    print("figures   :", ", ".join(FIGURE_IDS))
+    from repro.experiments import available_figures
+    from repro.faults import available_fault_kinds
+    from repro.serve import available_arrivals
+    from repro.workload import available_workloads
+
+    print("platforms  :", ", ".join(available_platforms()))
+    print("apps       :", ", ".join(available_apps()))
+    print("workloads  :", ", ".join(available_workloads()))
+    print("schedulers :", ", ".join(available_schedulers()))
+    print("arrivals   :", ", ".join(available_arrivals()))
+    print("fault kinds:", ", ".join(available_fault_kinds()))
+    print("admission  :", ", ".join(ADMISSION_POLICIES))
+    print("event cores:", ", ".join(EVENT_CORES))
+    print("figures    :", ", ".join(available_figures()))
     return 0
 
 
 def _cmd_run(args) -> int:
     entries = tuple(
-        WorkloadEntry(APP_FACTORIES[name](), count) for name, count in _parse_apps(args.apps)
+        WorkloadEntry(APPS.get(name).factory(), count)
+        for name, count in _parse_apps(args.apps)
     )
     workload = WorkloadSpec(name="cli", entries=entries)
     platform_cfg = _make_platform(args)
@@ -421,7 +550,7 @@ def _serve_config_from_args(args):
     except (KeyError, ValueError) as exc:
         raise SystemExit(f"bad --arrival: {exc}") from None
     apps = tuple(
-        APP_FACTORIES[name]()
+        APPS.get(name).factory()
         for name, count in _parse_apps(args.apps)
         for _ in range(count)
     )
@@ -543,12 +672,56 @@ def _cmd_audit(args) -> int:
     return 0 if report.ok else 1
 
 
+def _audit_scenario_template(args):
+    """The declarative twin of the flag-built oracle sweep.
+
+    Field-for-field mirror of what ``_cmd_audit_diff`` /
+    ``_cmd_audit_diff_serve`` build from flags, as a
+    :class:`~repro.scenario.ScenarioSpec` - the oracle's ``scenario``
+    variant then proves the two routes bit-identical.
+    """
+    from repro.scenario import AppCount, ScenarioSpec, ServeSection
+
+    apps = tuple(AppCount(name, count) for name, count in _parse_apps(args.apps))
+    common = dict(
+        name="audit-diff",
+        seed=args.seed,
+        trials=args.trials,
+        platform=args.platform,
+        platform_params=AUDIT_PLATFORM_PARAMS[args.platform],
+        scheduler=args.scheduler,
+        mode=args.mode,
+    )
+    if args.serve:
+        return ScenarioSpec(
+            kind="serve",
+            serve=ServeSection(
+                duration=args.duration,
+                arrival=args.arrival,
+                tenants=1,
+                slo_ms=args.slo_ms,
+                apps=apps,
+                policy=args.admission,
+            ),
+            **common,
+        )
+    return ScenarioSpec(
+        kind="run",
+        workload_name="audit-diff",
+        apps=apps,
+        execute=args.execute,
+        **common,
+    )
+
+
 def _cmd_audit_diff(args) -> int:
     """Run the differential oracle and print its per-variant verdicts."""
     from repro.audit import DEFAULT_VARIANTS, SERVE_VARIANTS, diff_run
     from repro.workload import paper_injection_rates
 
     available = SERVE_VARIANTS if args.serve else DEFAULT_VARIANTS
+    if args.scenario:
+        available = (*available, "scenario")
     if args.variants is None:
         variants = available
     else:
@@ -561,10 +734,13 @@ def _cmd_audit_diff(args) -> int:
                 f"unknown variant(s) {sorted(unknown)}; "
                 f"options: {','.join(available)}"
             )
+        if args.scenario and "scenario" not in variants:
+            variants = (*variants, "scenario")
+    scenario = _audit_scenario_template(args) if args.scenario else None
     if args.serve:
-        return _cmd_audit_diff_serve(args, variants)
+        return _cmd_audit_diff_serve(args, variants, scenario)
     entries = tuple(
-        WorkloadEntry(APP_FACTORIES[name](), count)
+        WorkloadEntry(APPS.get(name).factory(), count)
         for name, count in _parse_apps(args.apps)
     )
     workload = WorkloadSpec(name="audit-diff", entries=entries)
@@ -579,12 +755,13 @@ def _cmd_audit_diff(args) -> int:
         execute=args.execute,
         jobs=args.jobs,
         variants=variants,
+        scenario=scenario,
     )
     print(report.summary())
     return 0 if report.ok else 1
 
 
-def _cmd_audit_diff_serve(args, variants) -> int:
+def _cmd_audit_diff_serve(args, variants, scenario=None) -> int:
     """The serve-mode leg of ``repro audit diff`` (``--serve``)."""
     from repro.audit import diff_serve
 
@@ -596,6 +773,7 @@ def _cmd_audit_diff_serve(args, variants) -> int:
         base_seed=args.seed,
         jobs=args.jobs,
         variants=variants,
+        scenario=scenario,
     )
     print(report.summary())
     return 0 if report.ok else 1
@@ -603,11 +781,137 @@ def _cmd_audit_diff_serve(args, variants) -> int:
 
 def _make_audit_platform(name: str):
     """Platform defaults for the oracle sweep (match the figure configs)."""
-    if name == "zcu102":
-        return zcu102(n_cpu=3, n_fft=1)
-    if name == "jetson":
-        return jetson(n_cpu=3)
-    return zcu102_biglittle(n_big=3, n_little=4, n_fft=1, n_mmult=0)
+    return make_platform(name, **dict(AUDIT_PLATFORM_PARAMS[name]))
+
+
+def _scenario_paths(raw_paths) -> list:
+    """Expand ``scenario list`` arguments into spec files, sorted."""
+    from pathlib import Path
+
+    out = []
+    for raw in raw_paths:
+        path = Path(raw)
+        if path.is_dir():
+            out.extend(sorted(p for p in path.iterdir()
+                              if p.suffix.lower() in (".toml", ".json")))
+        else:
+            out.append(path)
+    return out
+
+
+def _cmd_scenario_validate(args) -> int:
+    from repro.scenario import ScenarioError, load_scenario
+
+    failed = 0
+    for raw in args.specs:
+        try:
+            spec = load_scenario(raw)
+        except ScenarioError as exc:
+            print(f"FAIL {raw}: {exc}")
+            failed += 1
+            continue
+        print(f"ok   {raw}: {spec.describe()}  [digest {spec.digest()[:12]}]")
+    return 1 if failed else 0
+
+
+def _cmd_scenario_list(args) -> int:
+    from repro.scenario import ScenarioError, load_scenario
+
+    paths = _scenario_paths(args.paths)
+    if not paths:
+        print(f"no scenario documents found under: {', '.join(args.paths)}")
+        return 1
+    rc = 0
+    for path in paths:
+        try:
+            spec = load_scenario(path)
+        except ScenarioError as exc:
+            print(f"{path}: INVALID ({exc})")
+            rc = 1
+            continue
+        print(f"{path}: {spec.describe()}  [digest {spec.digest()[:12]}]")
+    return rc
+
+
+def _cmd_scenario_run(args) -> int:
+    import dataclasses
+
+    from repro.experiments import SweepCache, resolve_cache
+    from repro.scenario import ScenarioError, load_scenario, run_scenario
+
+    try:
+        spec = load_scenario(args.spec)
+    except ScenarioError as exc:
+        raise SystemExit(str(exc)) from None
+    if args.audit:
+        spec = dataclasses.replace(spec, audit=True)
+    if args.no_cache:
+        if args.cache_dir is not None:
+            raise SystemExit("--cache-dir conflicts with --no-cache")
+        cache = False
+    elif args.cache_dir is not None:
+        cache = SweepCache(args.cache_dir)
+    elif args.cache:
+        cache = SweepCache()
+    else:
+        cache = resolve_cache(None)
+    trials = spec.trials if args.trials is None else args.trials
+    base_seed = spec.seed if args.seed is None else args.seed
+    results = run_scenario(
+        spec, trials=trials, base_seed=base_seed, n_jobs=args.jobs, cache=cache
+    )
+    n = len(results)
+    print(f"scenario  : {spec.name} [{spec.kind}]  digest {spec.digest()[:12]}"
+          f"  ({args.spec})")
+    print(f"platform  : {spec.platform}  mode={spec.mode}  "
+          f"scheduler={spec.scheduler}")
+    print(f"trials    : {n} (base seed {base_seed}"
+          + (", audited" if spec.audit else "") + ")")
+
+    def mean(xs):
+        return sum(xs) / n
+
+    if spec.kind == "serve":
+        print(f"service   : {spec.serve.arrival} x {spec.serve.tenants} "
+              f"tenant(s), {spec.serve.duration:g} s window, "
+              f"admission {spec.serve.policy}")
+        print(f"per trial : offered {mean([r.offered for r in results]):.1f}, "
+              f"admitted {mean([r.admitted for r in results]):.1f}, "
+              f"shed {mean([r.shed for r in results]):.1f}, "
+              f"completed {mean([r.completed for r in results]):.1f}")
+        print(f"slo       : p99 response "
+              f"{mean([r.p99_response_s for r in results]) * 1e3:.2f} ms, "
+              f"violations {mean([r.slo_violations for r in results]):.1f}, "
+              f"goodput {mean([r.goodput for r in results]):.1f} apps/s "
+              f"within {spec.serve.slo_ms:g} ms")
+    else:
+        print(f"workload  : {spec.preset or ','.join(f'{a.name}:{a.count}' for a in spec.apps)}"
+              f" @ {spec.rate_mbps:g} Mbps")
+        print(f"apps      : {results[0].n_apps} per trial, makespan mean "
+              f"{mean([r.makespan for r in results]) * 1e3:.2f} ms")
+        print(f"exec time : {mean([r.mean_exec_time for r in results]) * 1e3:.2f}"
+              f" ms/app")
+        print(f"overheads : runtime "
+              f"{mean([r.runtime_overhead_per_app for r in results]) * 1e3:.3f}"
+              f" ms/app, scheduling "
+              f"{mean([r.sched_overhead_per_app for r in results]) * 1e3:.3f}"
+              f" ms/app")
+    if cache:
+        print(f"cache     : {cache.stats.summary()} "
+              f"({cache.stats.stores} stored in {cache.root})")
+    return 0
+
+
+def _cmd_scenario(args) -> int:
+    if args.scenario_command == "run":
+        return _cmd_scenario_run(args)
+    if args.scenario_command == "validate":
+        return _cmd_scenario_validate(args)
+    if args.scenario_command == "list":
+        return _cmd_scenario_list(args)
+    raise AssertionError(
+        f"unhandled scenario command {args.scenario_command!r}"
+    )  # pragma: no cover
 
 
 def _resolve_figure_cache(args):
@@ -630,7 +934,7 @@ def _resolve_figure_cache(args):
 def _cmd_figure(args) -> int:
     import os
 
-    from repro.experiments import AUDIT_ENV, configure_cache
+    from repro.experiments import AUDIT_ENV, FIGURES, configure_cache
 
     cache = _resolve_figure_cache(args)
     # pin the handle process-wide so every sweep a figure driver makes goes
@@ -641,7 +945,7 @@ def _cmd_figure(args) -> int:
         # the env var (not a config edit) so --jobs pool workers inherit it
         os.environ[AUDIT_ENV] = "1"
     try:
-        code = _run_figure(args)
+        code = FIGURES.get(args.id).render(args)
     finally:
         configure_cache(previous_cache)
         if args.audit:
@@ -653,78 +957,6 @@ def _cmd_figure(args) -> int:
         print(f"\ncache     : {cache.stats.summary()} "
               f"({cache.stats.stores} stored in {cache.root})")
     return code
-
-
-def _run_figure(args) -> int:
-    from repro.experiments import (
-        run_fig5,
-        run_fig6_fig7,
-        run_fig8,
-        run_fig9,
-        run_fig10a,
-        run_fig10b,
-        saturated_reduction,
-    )
-    from repro.workload import paper_injection_rates
-
-    rates = list(paper_injection_rates(n=args.rates))
-    jobs = args.jobs
-    if args.id == "fig5":
-        fig = run_fig5(rates=rates, trials=args.trials, seed=args.seed, n_jobs=jobs)
-        print(format_series_table(fig, y_scale=1e3, y_fmt="{:10.4f}"))
-        print(f"\nsaturated API-vs-DAG reduction: {saturated_reduction(fig):.1%} "
-              "(paper: 19.52%)")
-    elif args.id == "fig67":
-        panels = run_fig6_fig7(rates=rates, trials=args.trials, seed=args.seed, n_jobs=jobs)
-        for pid in ("fig6a", "fig6b", "fig7a", "fig7b"):
-            print(format_series_table(panels[pid], y_scale=1e3, y_fmt="{:10.3f}"))
-            print()
-    elif args.id == "fig8":
-        panels = run_fig8(rates=rates, trials=args.trials, seed=args.seed, n_jobs=jobs)
-        for pid in ("fig8a", "fig8b"):
-            print(format_series_table(panels[pid], y_scale=1e3, y_fmt="{:10.2f}"))
-            print()
-    elif args.id == "fig9":
-        panels = run_fig9(trials=args.trials, seed=args.seed, n_jobs=jobs)
-        for pid in ("fig9a", "fig9b"):
-            print(format_series_table(panels[pid], y_scale=1e3, y_fmt="{:10.1f}"))
-            print()
-    elif args.id == "fig10a":
-        fig = run_fig10a(trials=args.trials, seed=args.seed, n_jobs=jobs)
-        print(format_series_table(fig, y_scale=1e3, y_fmt="{:10.1f}"))
-    elif args.id == "fig10b":
-        fig = run_fig10b(trials=args.trials, seed=args.seed, n_jobs=jobs)
-        print(format_series_table(fig, y_scale=1e3, y_fmt="{:10.1f}"))
-    elif args.id == "resilience":
-        from repro.experiments import run_fig_resilience
-
-        panels = run_fig_resilience(
-            trials=args.trials, seed=args.seed,
-            fault_seed=args.fault_seed, n_jobs=jobs,
-        )
-        print(format_series_table(panels["resilience_exec"],
-                                  y_scale=1e3, y_fmt="{:10.2f}"))
-        print()
-        print(format_series_table(panels["resilience_goodput"], y_fmt="{:10.3f}"))
-    elif args.id == "saturation":
-        from repro.experiments import SATURATION_DURATION, run_fig_saturation
-
-        duration = (args.duration if args.duration is not None
-                    else SATURATION_DURATION)
-        panels = run_fig_saturation(
-            duration=duration, trials=args.trials, seed=args.seed, n_jobs=jobs,
-        )
-        print(format_series_table(panels["saturation_throughput"],
-                                  y_fmt="{:10.1f}"))
-        print()
-        print(format_series_table(panels["saturation_p99"],
-                                  y_scale=1e3, y_fmt="{:10.2f}"))
-        if "saturation_knee" in panels:
-            knee = panels["saturation_knee"].series[0].xs[0]
-            print(f"\ndetected saturation knee: {knee:g} apps/s offered")
-        else:
-            print("\nno saturation knee detected in the swept range")
-    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -740,6 +972,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_telemetry(args)
     if args.command == "audit":
         return _cmd_audit(args)
+    if args.command == "scenario":
+        return _cmd_scenario(args)
     if args.command == "figure":
         return _cmd_figure(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -30,8 +30,13 @@ from .fig_saturation import (
     detect_knee,
     run_fig_saturation,
 )
+from .figures import FIGURES, FigureEntry, available_figures, register_figure
 
 __all__ = [
+    "FIGURES",
+    "FigureEntry",
+    "register_figure",
+    "available_figures",
     "run_once",
     "run_trials",
     "sweep_rates",

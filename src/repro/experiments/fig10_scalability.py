@@ -23,7 +23,7 @@ from typing import Optional, Sequence
 
 from repro.metrics import FigureSeries, TrialStats
 from repro.platforms import jetson, zcu102
-from repro.sched import PAPER_SCHEDULERS
+from repro.sched import paper_schedulers
 
 from .common import run_trials
 from .fig9_versatility import av_workload_scaled
@@ -53,7 +53,7 @@ def run_fig10a(
     fft_counts: Optional[Sequence[int]] = None,
     trials: int = 1,
     seed: int = 0,
-    schedulers: Sequence[str] = PAPER_SCHEDULERS,
+    schedulers: Sequence[str] = paper_schedulers(),
     ld_batch: int = 64,
     n_jobs: Optional[int] = None,
 ) -> FigureSeries:
@@ -78,7 +78,7 @@ def run_fig10b(
     cpu_counts: Optional[Sequence[int]] = None,
     trials: int = 1,
     seed: int = 0,
-    schedulers: Sequence[str] = PAPER_SCHEDULERS,
+    schedulers: Sequence[str] = paper_schedulers(),
     ld_batch: int = 64,
     n_jobs: Optional[int] = None,
 ) -> FigureSeries:

@@ -27,7 +27,7 @@ from typing import Optional, Sequence
 
 from repro.metrics import FigureSeries
 from repro.platforms import zcu102
-from repro.sched import PAPER_SCHEDULERS
+from repro.sched import paper_schedulers
 from repro.workload import radar_comms_workload, reduced_injection_rates
 
 from .common import sweep_rates
@@ -39,7 +39,7 @@ def run_fig6_fig7(
     rates: Optional[Sequence[float]] = None,
     trials: int = 2,
     seed: int = 0,
-    schedulers: Sequence[str] = PAPER_SCHEDULERS,
+    schedulers: Sequence[str] = paper_schedulers(),
     n_jobs: Optional[int] = None,
 ) -> dict[str, FigureSeries]:
     """Regenerate Figs 6(a,b) and 7(a,b); returns {panel id: FigureSeries}."""

@@ -15,7 +15,7 @@ from typing import Optional, Sequence
 
 from repro.metrics import FigureSeries
 from repro.platforms import jetson
-from repro.sched import PAPER_SCHEDULERS
+from repro.sched import paper_schedulers
 from repro.workload import radar_comms_workload, reduced_injection_rates
 
 from .common import sweep_rates
@@ -27,7 +27,7 @@ def run_fig8(
     rates: Optional[Sequence[float]] = None,
     trials: int = 2,
     seed: int = 0,
-    schedulers: Sequence[str] = PAPER_SCHEDULERS,
+    schedulers: Sequence[str] = paper_schedulers(),
     n_jobs: Optional[int] = None,
 ) -> dict[str, FigureSeries]:
     """Regenerate Fig. 8(a,b); returns {panel id: FigureSeries}."""

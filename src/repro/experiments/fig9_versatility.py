@@ -23,7 +23,7 @@ from typing import Optional, Sequence
 from repro.apps import LaneDetection, PulseDoppler, WifiTx
 from repro.metrics import FigureSeries
 from repro.platforms import jetson, zcu102
-from repro.sched import PAPER_SCHEDULERS
+from repro.sched import paper_schedulers
 from repro.workload import autonomous_vehicle_workload, paper_injection_rates
 
 from .common import sweep_rates
@@ -49,7 +49,7 @@ def run_fig9(
     rates: Optional[Sequence[float]] = None,
     trials: int = 1,
     seed: int = 0,
-    schedulers: Sequence[str] = PAPER_SCHEDULERS,
+    schedulers: Sequence[str] = paper_schedulers(),
     ld_batch: int = 64,
     n_jobs: Optional[int] = None,
 ) -> dict[str, FigureSeries]:

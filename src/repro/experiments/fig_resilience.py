@@ -34,7 +34,7 @@ from repro.faults import FaultConfig
 from repro.metrics import FigureSeries, aggregate_trials
 from repro.platforms import zcu102
 from repro.runtime import RuntimeConfig
-from repro.sched import PAPER_SCHEDULERS
+from repro.sched import paper_schedulers
 from repro.workload import radar_comms_workload
 
 from .common import _run_cells, resolve_cache, resolve_jobs, trial_seeds
@@ -52,7 +52,7 @@ def run_fig_resilience(
     trials: int = 2,
     seed: int = 0,
     fault_seed: Optional[int] = None,
-    schedulers: Sequence[str] = PAPER_SCHEDULERS,
+    schedulers: Sequence[str] = paper_schedulers(),
     n_jobs: Optional[int] = None,
 ) -> dict[str, FigureSeries]:
     """Sweep fault rate x scheduler; returns {panel id: FigureSeries}.

@@ -9,6 +9,12 @@ See docs/INTERNALS.md, "Fault model & recovery".
 """
 
 from .inject import FaultInjector, RetryRecord
+from .registry import (
+    FAULT_KINDS,
+    FaultKindEntry,
+    available_fault_kinds,
+    register_fault_kind,
+)
 from .model import (
     DEFAULT_FAULT_KINDS,
     FaultConfig,
@@ -21,6 +27,10 @@ from .model import (
 )
 
 __all__ = [
+    "FAULT_KINDS",
+    "FaultKindEntry",
+    "register_fault_kind",
+    "available_fault_kinds",
     "FaultConfig",
     "FaultKind",
     "FaultSpec",

@@ -34,6 +34,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Iterator
 
 from .model import FaultConfig, FaultKind, FaultRecord, fault_stream
+from .registry import FAULT_KINDS
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.platforms import PE
@@ -104,9 +105,10 @@ class FaultInjector:
         if pe.dead:
             return  # a dead PE cannot fail any harder
         runtime = self.runtime
+        entry = FAULT_KINDS.get(kind.value)
         if (
             not forced
-            and kind in (FaultKind.TRANSIENT, FaultKind.HANG)
+            and entry.needs_live_task
             and not runtime.inflight[pe.index]
         ):
             # Transients corrupt live task state and hangs wedge an active
@@ -119,26 +121,9 @@ class FaultInjector:
         now = runtime.engine.now
         self.records.append(FaultRecord(at=now, pe=pe.name, kind=kind))
         runtime.counters.record_fault(kind.value)
-        if kind is FaultKind.TRANSIENT:
-            pe.transient_pending += 1
-        elif kind is FaultKind.HANG:
-            pe.hang_pending += 1
-        elif kind is FaultKind.FAILSTOP:
-            pe.dead = True
-            pe.available = False
-            runtime.post(("pe_dead", pe))
-        elif kind is FaultKind.SLOWDOWN:
-            pe.slow_epoch += 1
-            pe.fault_slow_factor = self.config.slowdown_factor
-            epoch = pe.slow_epoch
-            runtime.engine.call_at(
-                now + self.config.slowdown_s,
-                lambda: self._end_slowdown(pe, epoch),
-            )
-        else:  # pragma: no cover - enum is closed
-            raise AssertionError(f"unhandled fault kind {kind!r}")
+        entry.apply(self, pe)
 
-    def _end_slowdown(self, pe: "PE", epoch: int) -> None:
+    def end_slowdown(self, pe: "PE", epoch: int) -> None:
         # A newer slowdown fault restarted the degradation window; its own
         # revert timer owns the recovery then.
         if pe.slow_epoch == epoch and not pe.dead:

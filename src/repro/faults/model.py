@@ -180,19 +180,21 @@ class FaultConfig:
 
     @staticmethod
     def parse_kinds(spec: str) -> tuple[FaultKind, ...]:
-        """Parse a ``--fault-kinds`` comma list ("transient,hang,...")."""
+        """Parse a ``--fault-kinds`` comma list ("transient,hang,...").
+
+        Validates against the fault-kind registry, so names and error
+        listings track what the injector can actually apply (the
+        registry's unknown-name error is a ``ValueError`` with the
+        available kinds and a did-you-mean hint).
+        """
+        from .registry import FAULT_KINDS  # local: registry imports model
+
         kinds = []
         for part in spec.split(","):
             part = part.strip().lower()
             if not part:
                 continue
-            try:
-                kinds.append(FaultKind(part))
-            except ValueError:
-                options = ", ".join(k.value for k in FaultKind)
-                raise ValueError(
-                    f"unknown fault kind {part!r}; options: {options}"
-                ) from None
+            kinds.append(FAULT_KINDS.get(part).kind)
         if not kinds:
             raise ValueError(f"empty fault-kind specification {spec!r}")
         return tuple(kinds)

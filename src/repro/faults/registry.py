@@ -1,0 +1,125 @@
+"""Fault-kind registry: what each injectable failure mode *does*.
+
+The fault model (:mod:`repro.faults.model`) decides *when* a fault lands
+and on *which* PE; this registry decides what landing means.  Each
+:class:`FaultKindEntry` carries the enum member (the type the fault log
+and cache codecs encode), whether the effect needs a live task on the PE
+(idle-PE transients/hangs are dropped - see the injector), and the applier
+the injector fires.  ``FaultConfig.parse_kinds`` and the injector's
+dispatch both route through here, so ``repro list`` and scenario-spec
+validation always agree with what the injector can actually do.
+
+A new fault kind registers an applier under a new name (plus a
+:class:`~repro.faults.model.FaultKind` member so logs and cache digests
+can encode it); the ``repro.fault_kinds`` entry-point group does the same
+from a third-party distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.registry import Registry
+
+from .model import FaultKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.platforms import PE
+
+    from .inject import FaultInjector
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultKindEntry",
+    "register_fault_kind",
+    "available_fault_kinds",
+]
+
+#: applier signature: mutate PE / runtime state for one landed fault.
+ApplyFn = Callable[["FaultInjector", "PE"], None]
+
+
+@dataclass(frozen=True)
+class FaultKindEntry:
+    """One registered failure mode."""
+
+    kind: FaultKind
+    apply: ApplyFn
+    #: the effect corrupts live task state: a stream fault landing on an
+    #: *idle* PE is dropped (scripted faults are forced through anyway)
+    needs_live_task: bool = False
+    summary: str = ""
+
+
+FAULT_KINDS: Registry[FaultKindEntry] = Registry(
+    "fault kind", entry_point_group="repro.fault_kinds"
+)
+
+
+def register_fault_kind(
+    kind: FaultKind, *, needs_live_task: bool = False, summary: str = ""
+):
+    """Decorator registering the applier of one fault kind."""
+
+    def deco(apply: ApplyFn) -> ApplyFn:
+        FAULT_KINDS.register(
+            kind.value,
+            FaultKindEntry(
+                kind=kind,
+                apply=apply,
+                needs_live_task=needs_live_task,
+                summary=summary,
+            ),
+        )
+        return apply
+
+    return deco
+
+
+def available_fault_kinds() -> tuple[str, ...]:
+    """Registered fault-kind names, sorted."""
+    return FAULT_KINDS.names()
+
+
+@register_fault_kind(
+    FaultKind.TRANSIENT,
+    needs_live_task=True,
+    summary="next completed task on the PE fails and is retried",
+)
+def _apply_transient(injector: "FaultInjector", pe: "PE") -> None:
+    pe.transient_pending += 1
+
+
+@register_fault_kind(
+    FaultKind.HANG,
+    needs_live_task=True,
+    summary="next task on the PE wedges until the watchdog recovers it",
+)
+def _apply_hang(injector: "FaultInjector", pe: "PE") -> None:
+    pe.hang_pending += 1
+
+
+@register_fault_kind(
+    FaultKind.FAILSTOP,
+    summary="the PE dies permanently; queued tasks bounce back",
+)
+def _apply_failstop(injector: "FaultInjector", pe: "PE") -> None:
+    pe.dead = True
+    pe.available = False
+    injector.runtime.post(("pe_dead", pe))
+
+
+@register_fault_kind(
+    FaultKind.SLOWDOWN,
+    summary="the PE silently degrades for slowdown_s (thermal throttling)",
+)
+def _apply_slowdown(injector: "FaultInjector", pe: "PE") -> None:
+    runtime = injector.runtime
+    pe.slow_epoch += 1
+    pe.fault_slow_factor = injector.config.slowdown_factor
+    epoch = pe.slow_epoch
+    runtime.engine.call_at(
+        runtime.engine.now + injector.config.slowdown_s,
+        lambda: injector.end_slowdown(pe, epoch),
+    )

@@ -8,6 +8,13 @@ from .platform import (
     zcu102,
     zcu102_biglittle,
 )
+from .registry import (
+    PLATFORMS,
+    PlatformEntry,
+    available_platforms,
+    make_platform,
+    register_platform,
+)
 from .energy import (
     JETSON_POWER,
     ZCU102_POWER,
@@ -28,6 +35,11 @@ __all__ = [
     "zcu102",
     "zcu102_biglittle",
     "jetson",
+    "PLATFORMS",
+    "PlatformEntry",
+    "register_platform",
+    "make_platform",
+    "available_platforms",
     "TimingModel",
     "AccelCost",
     "CostTable",

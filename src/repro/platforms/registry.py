@@ -1,0 +1,110 @@
+"""Platform registry: named, parameterized SoC configurations.
+
+The factory functions in :mod:`repro.platforms.platform` build
+:class:`PlatformConfig` objects from keyword arguments; this module wraps
+each in a :class:`PlatformEntry` that names it, documents it, and declares
+which parameters it accepts - so the CLI, the scenario layer, and
+``repro list`` all drive platform construction from one table instead of
+three hand-maintained ``if name == ...`` chains.
+
+Parameter names are the user-facing CLI spellings (``cpu``, ``fft``,
+``mmult``, ``little``) and the defaults match the historical CLI defaults
+exactly (``cpu=None`` means the board's native worker count); scenario
+specs naming a parameter the platform does not accept fail validation with
+the accepted list.  Third-party boards plug in via
+:func:`register_platform` or the ``repro.platforms`` entry-point group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.registry import Registry
+
+from .platform import PlatformConfig, jetson, zcu102, zcu102_biglittle
+
+__all__ = [
+    "PLATFORMS",
+    "PlatformEntry",
+    "register_platform",
+    "make_platform",
+    "available_platforms",
+]
+
+
+@dataclass(frozen=True)
+class PlatformEntry:
+    """One registered platform: factory + accepted parameter names."""
+
+    name: str
+    factory: Callable[..., PlatformConfig]
+    params: tuple[str, ...]
+    summary: str = ""
+
+    def build_config(self, **params) -> PlatformConfig:
+        """Build the :class:`PlatformConfig`, validating parameter names."""
+        unknown = set(params) - set(self.params)
+        if unknown:
+            accepted = ", ".join(self.params) or "(none)"
+            raise ValueError(
+                f"platform {self.name!r} does not take parameter(s) "
+                f"{sorted(unknown)}; accepts: {accepted}"
+            )
+        return self.factory(**params)
+
+
+PLATFORMS: Registry[PlatformEntry] = Registry(
+    "platform", entry_point_group="repro.platforms"
+)
+
+
+def register_platform(name: str, *, params: tuple[str, ...] = (), summary: str = ""):
+    """Decorator registering a ``(**params) -> PlatformConfig`` factory."""
+
+    def deco(factory: Callable[..., PlatformConfig]):
+        PLATFORMS.register(
+            name, PlatformEntry(name, factory, tuple(params), summary)
+        )
+        return factory
+
+    return deco
+
+
+def make_platform(name: str, **params) -> PlatformConfig:
+    """Build a registered platform's config by name."""
+    return PLATFORMS.get(name).build_config(**params)
+
+
+def available_platforms() -> tuple[str, ...]:
+    """Registered platform names, sorted."""
+    return PLATFORMS.names()
+
+
+@register_platform(
+    "zcu102",
+    params=("cpu", "fft", "mmult"),
+    summary="Xilinx ZCU102: 3 ARM worker cores + FFT/MMULT fabric accelerators",
+)
+def _zcu102(cpu=None, fft=1, mmult=0) -> PlatformConfig:
+    return zcu102(n_cpu=3 if cpu is None else cpu, n_fft=fft, n_mmult=mmult)
+
+
+@register_platform(
+    "jetson",
+    params=("cpu", "gpu"),
+    summary="NVIDIA Jetson AGX Xavier: 7 ARM worker cores + GPU",
+)
+def _jetson(cpu=None, gpu=1) -> PlatformConfig:
+    return jetson(n_cpu=7 if cpu is None else cpu, n_gpu=gpu)
+
+
+@register_platform(
+    "zcu102-biglittle",
+    params=("cpu", "little", "fft", "mmult"),
+    summary="ZCU102 big.LITTLE variant: LITTLE cores host accelerator management",
+)
+def _zcu102_biglittle(cpu=None, little=4, fft=1, mmult=0) -> PlatformConfig:
+    return zcu102_biglittle(
+        n_big=3 if cpu is None else cpu, n_little=little, n_fft=fft, n_mmult=mmult
+    )

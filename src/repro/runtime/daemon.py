@@ -57,7 +57,7 @@ import numpy as np
 from repro.faults import FaultInjector, TaskLostError
 from repro.platforms import PE, PEKind, PlatformInstance
 from repro.platforms.timing import CostTable
-from repro.sched import Scheduler, make_scheduler
+from repro.sched import SCHEDULERS, Scheduler
 from repro.sched.heft_rt import upward_ranks
 from repro.simcore import Block, Compute, Request, SimQueue, SimThread, child_rng
 from repro.simcore.errors import SimStateError
@@ -161,7 +161,7 @@ class CedrRuntime:
         # exist (migration is exact either way, but this keeps it trivial).
         if config.event_core != self.engine.event_core:
             self.engine.set_event_core(config.event_core)
-        self.scheduler: Scheduler = make_scheduler(config.scheduler)
+        self.scheduler: Scheduler = SCHEDULERS.create(config.scheduler)
         #: bookkeeping costs are referenced to the ZCU102's 1.2 GHz cores
         self.cost_scale = 1.2 / platform.timing.cpu_clock_ghz
         self.events = EventQueue(self.engine)

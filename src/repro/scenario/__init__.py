@@ -1,0 +1,28 @@
+"""repro.scenario - declarative experiment specs over the plugin registries.
+
+A scenario is one TOML/JSON document naming platform + workload +
+scheduler + faults + admission + telemetry + seeds.  ``repro scenario
+run spec.toml`` executes it through the exact same code paths as the
+flag-driven commands (proven bit-identical by the ``scenario`` variant
+of ``repro audit diff``), and its canonical form content-addresses into
+the sweep cache alongside flag-driven cells.  See docs/INTERNALS.md,
+"Plugin registries & scenario specs".
+"""
+
+from .runner import run_scenario
+from .spec import (
+    AppCount,
+    ScenarioError,
+    ScenarioSpec,
+    ServeSection,
+    load_scenario,
+)
+
+__all__ = [
+    "AppCount",
+    "ScenarioError",
+    "ScenarioSpec",
+    "ServeSection",
+    "load_scenario",
+    "run_scenario",
+]

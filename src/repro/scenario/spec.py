@@ -1,0 +1,644 @@
+"""Declarative scenario specs: one TOML/JSON document per experiment.
+
+A :class:`ScenarioSpec` names everything a run needs - platform, workload
+or serve tenants, scheduler, faults, admission, telemetry, seeds - as
+*data*, validated against the plugin registries and executed through the
+exact same :class:`~repro.runtime.RuntimeConfig` / serve paths as the
+flag-driven ``repro run`` / ``repro serve`` commands.  The differential
+oracle's ``scenario`` variant proves the two routes bit-identical, and
+because the builders below construct the same platform/workload/config
+objects the flag path does, the PR 4 sweep cache content-addresses
+scenario cells for free (a flag-driven sweep warms the cache for the
+equivalent scenario and vice versa).
+
+Document shape (TOML; JSON mirrors it)::
+
+    [scenario]
+    name = "radar-zcu102"        # required
+    kind = "run"                 # "run" (default) or "serve"
+    seed = 0
+    trials = 1
+
+    [platform]
+    name = "zcu102"              # any registered platform
+    fft = 1                      # params the platform entry accepts
+
+    [scheduler]
+    name = "heft_rt"
+
+    [engine]                     # optional
+    event_core = "wheel"         # "heap" or "wheel"
+    audit = false
+
+    [telemetry]                  # optional; presence enables collection
+    interval_s = 0.01
+
+    [workload]                   # run kind
+    apps = [ {name = "PD", count = 2}, {name = "TX", count = 2} ]
+    # or: preset = "radar-comms" (+ params = {n_pd = 5})
+    arrival = "periodic"         # any registered arrival process
+
+    [run]                        # run kind
+    mode = "api"
+    rate_mbps = 200.0
+    execute = true
+
+    [faults]                     # optional, run kind
+    rate = 25.0
+    kinds = ["transient", "hang"]
+
+    [serve]                      # serve kind
+    duration = 0.5
+    arrival = "poisson:rate=100"
+    tenants = 1
+    slo_ms = 50.0
+    apps = "PD:1,TX:1"
+
+    [serve.admission]
+    policy = "shed"
+    max_in_system = 32
+
+Unknown sections, unknown keys, and unknown registry names all fail
+validation with the available entries and a did-you-mean hint - a typo'd
+scheduler name dies at ``repro scenario validate``, not three sweeps in.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import difflib
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping, Optional, Union
+
+from repro.apps import APPS
+from repro.faults import FAULT_KINDS, FaultConfig
+from repro.platforms import PLATFORMS, PlatformConfig
+from repro.runtime import RuntimeConfig
+from repro.sched import SCHEDULERS
+from repro.serve import ADMISSION_POLICIES, AdmissionConfig, ArrivalSpec, ServeConfig, TenantSpec
+from repro.serve.arrival import ARRIVALS
+from repro.simcore import DEFAULT_EVENT_CORE, EVENT_CORES
+from repro.workload import WORKLOADS, WorkloadEntry, WorkloadSpec
+
+__all__ = [
+    "AppCount",
+    "ScenarioError",
+    "ScenarioSpec",
+    "ServeSection",
+    "load_scenario",
+]
+
+MODES = ("dag", "api")
+
+
+class ScenarioError(ValueError):
+    """A scenario document failed validation (shape or registry names)."""
+
+
+def _unknown_keys(given, allowed, where: str) -> None:
+    unknown = sorted(set(given) - set(allowed))
+    if not unknown:
+        return
+    hints = []
+    for key in unknown:
+        close = difflib.get_close_matches(key, sorted(allowed), n=1)
+        hints.append(f"{key!r}" + (f" (did you mean {close[0]!r}?)" if close else ""))
+    raise ScenarioError(
+        f"{where}: unknown key(s) {', '.join(hints)}; "
+        f"allowed: {', '.join(sorted(allowed))}"
+    )
+
+
+def _params_tuple(value, where: str) -> tuple[tuple[str, Any], ...]:
+    if value is None:
+        return ()
+    if not isinstance(value, Mapping):
+        raise ScenarioError(f"{where} must be a table of name = value pairs")
+    return tuple(sorted((str(k), v) for k, v in value.items()))
+
+
+@dataclass(frozen=True)
+class AppCount:
+    """One application stream: registered name, instance count, overrides."""
+
+    name: str
+    count: int = 1
+    params: tuple[tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        entry = APPS.get(self.name)  # RegistryError lists + suggests
+        object.__setattr__(self, "name", entry.name)
+        if self.count < 1:
+            raise ScenarioError(
+                f"app {self.name!r} count must be >= 1, got {self.count}"
+            )
+        object.__setattr__(self, "params", tuple(sorted(self.params)))
+
+
+def _parse_app_list(value, where: str) -> tuple[AppCount, ...]:
+    """Parse ``apps`` - a CLI-style string or a list of app tables."""
+    if isinstance(value, str):
+        out = []
+        for part in value.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            name, _, count = part.partition(":")
+            try:
+                n = int(count) if count else 1
+            except ValueError:
+                raise ScenarioError(f"{where}: bad count in {part!r}") from None
+            out.append(AppCount(name.strip(), n))
+        if not out:
+            raise ScenarioError(f"{where}: empty app list")
+        return tuple(out)
+    if not isinstance(value, (list, tuple)) or not value:
+        raise ScenarioError(
+            f"{where}: apps must be a non-empty list of app tables "
+            f'or a "NAME:COUNT,..." string'
+        )
+    out = []
+    for i, item in enumerate(value):
+        if isinstance(item, AppCount):
+            out.append(item)
+            continue
+        if not isinstance(item, Mapping):
+            raise ScenarioError(f"{where}[{i}]: each app must be a table")
+        row = dict(item)
+        name = row.pop("name", None)
+        if name is None:
+            raise ScenarioError(f"{where}[{i}]: app table needs a name")
+        count = row.pop("count", 1)
+        out.append(AppCount(str(name), int(count), tuple(sorted(row.items()))))
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class ServeSection:
+    """The serve-kind half of a spec: tenants, window, admission."""
+
+    duration: float = 0.5
+    arrival: str = "poisson:rate=100"
+    tenants: int = 1
+    slo_ms: float = 50.0
+    apps: tuple[AppCount, ...] = (AppCount("PD"), AppCount("TX"))
+    policy: str = "shed"
+    max_in_system: int = 32
+    queue_cap: int = 16
+    quota_rate: float = 0.0
+    quota_burst: float = 8.0
+    ready_depth_limit: int = 0
+    p99_limit_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        ArrivalSpec.parse(self.arrival)  # validates kind + parameter shape
+        if self.tenants < 1:
+            raise ScenarioError(f"tenants must be >= 1, got {self.tenants}")
+        if self.policy not in ADMISSION_POLICIES:
+            raise ScenarioError(
+                f"unknown admission policy {self.policy!r}; "
+                f"options: {', '.join(ADMISSION_POLICIES)}"
+            )
+
+    def admission_config(self) -> AdmissionConfig:
+        return AdmissionConfig(
+            policy=self.policy,
+            max_in_system=self.max_in_system,
+            queue_cap=self.queue_cap,
+            quota_rate=self.quota_rate,
+            quota_burst=self.quota_burst,
+            ready_depth_limit=self.ready_depth_limit,
+            p99_limit_s=self.p99_limit_s,
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One fully named experiment, validated against the registries."""
+
+    name: str
+    kind: str = "run"
+    seed: int = 0
+    trials: int = 1
+    platform: str = "zcu102"
+    platform_params: tuple[tuple[str, Any], ...] = ()
+    scheduler: str = "heft_rt"
+    event_core: str = DEFAULT_EVENT_CORE
+    audit: bool = False
+    telemetry_interval_s: Optional[float] = None
+    # run kind ----------------------------------------------------------- #
+    #: RNG label of the workload; "cli" matches the flag-driven ``repro
+    #: run`` path bit-for-bit (the name participates in arrival/payload
+    #: stream derivation, so it is part of the determinism contract)
+    workload_name: str = "cli"
+    preset: Optional[str] = None
+    preset_params: tuple[tuple[str, Any], ...] = ()
+    apps: tuple[AppCount, ...] = (AppCount("PD", 2), AppCount("TX", 2))
+    arrival: str = "periodic"
+    arrival_params: tuple[tuple[str, Any], ...] = ()
+    mode: str = "api"
+    rate_mbps: float = 200.0
+    execute: bool = True
+    faults: Optional[FaultConfig] = None
+    # serve kind --------------------------------------------------------- #
+    serve: Optional[ServeSection] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("run", "serve"):
+            raise ScenarioError(
+                f"scenario kind must be 'run' or 'serve', got {self.kind!r}"
+            )
+        if self.trials < 1:
+            raise ScenarioError(f"trials must be >= 1, got {self.trials}")
+        if self.mode not in MODES:
+            raise ScenarioError(
+                f"unknown mode {self.mode!r}; options: {', '.join(MODES)}"
+            )
+        if self.event_core not in EVENT_CORES:
+            raise ScenarioError(
+                f"unknown event core {self.event_core!r}; "
+                f"options: {', '.join(EVENT_CORES)}"
+            )
+        entry = PLATFORMS.get(self.platform)
+        object.__setattr__(
+            self, "platform_params", tuple(sorted(self.platform_params))
+        )
+        unknown = set(dict(self.platform_params)) - set(entry.params)
+        if unknown:
+            raise ScenarioError(
+                f"platform {entry.name!r} does not take parameter(s) "
+                f"{sorted(unknown)}; accepts: {', '.join(entry.params)}"
+            )
+        SCHEDULERS.get(self.scheduler)
+        if self.kind == "run":
+            if self.rate_mbps <= 0:
+                raise ScenarioError(
+                    f"rate_mbps must be positive, got {self.rate_mbps}"
+                )
+            ARRIVALS.get(self.arrival)
+            if self.preset is not None:
+                WORKLOADS.get(self.preset)
+            # AppCount validates each name on construction
+        elif self.serve is None:
+            object.__setattr__(self, "serve", ServeSection())
+
+    # ------------------------------------------------------------------ #
+    # parsing
+    # ------------------------------------------------------------------ #
+
+    _SECTIONS = (
+        "scenario", "platform", "scheduler", "engine",
+        "telemetry", "workload", "run", "faults", "serve",
+    )
+
+    @classmethod
+    def from_mapping(
+        cls, data: Mapping[str, Any], *, source: str = "<mapping>"
+    ) -> "ScenarioSpec":
+        """Build a validated spec from a parsed TOML/JSON document."""
+        if not isinstance(data, Mapping):
+            raise ScenarioError(f"{source}: scenario document must be a table")
+        _unknown_keys(data, cls._SECTIONS, source)
+
+        def section(name: str) -> dict:
+            value = data.get(name)
+            if value is None:
+                return {}
+            if not isinstance(value, Mapping):
+                raise ScenarioError(f"{source}: [{name}] must be a table")
+            return dict(value)
+
+        scn = section("scenario")
+        _unknown_keys(scn, ("name", "kind", "seed", "trials"), f"{source} [scenario]")
+        name = scn.get("name")
+        if not name:
+            raise ScenarioError(f"{source}: [scenario] needs a name")
+        kind = str(scn.get("kind", "run"))
+
+        plat = section("platform")
+        platform = str(plat.pop("name", "zcu102"))
+        # remaining platform keys ARE the factory parameters; the entry
+        # validates them in __post_init__
+        platform_params = tuple(sorted(plat.items()))
+
+        sched = section("scheduler")
+        _unknown_keys(sched, ("name",), f"{source} [scheduler]")
+        scheduler = str(sched.get("name", "heft_rt"))
+
+        engine = section("engine")
+        _unknown_keys(engine, ("event_core", "audit"), f"{source} [engine]")
+
+        telemetry = section("telemetry")
+        _unknown_keys(telemetry, ("interval_s",), f"{source} [telemetry]")
+        interval = telemetry.get("interval_s") if "telemetry" in data else None
+        if interval is not None:
+            interval = float(interval)
+        elif "telemetry" in data:
+            interval = 0.0  # section present, default = final snapshot only
+
+        fields: dict[str, Any] = dict(
+            name=str(name),
+            kind=kind,
+            seed=int(scn.get("seed", 0)),
+            trials=int(scn.get("trials", 1)),
+            platform=platform,
+            platform_params=platform_params,
+            scheduler=scheduler,
+            event_core=str(engine.get("event_core", DEFAULT_EVENT_CORE)),
+            audit=bool(engine.get("audit", False)),
+            telemetry_interval_s=interval,
+        )
+
+        wl = section("workload")
+        run = section("run")
+        faults = section("faults")
+        srv = section("serve")
+        if kind == "serve":
+            for label, body in (("workload", wl), ("run", run), ("faults", faults)):
+                if body:
+                    raise ScenarioError(
+                        f"{source}: [{label}] is a run-kind section; "
+                        f"this scenario is kind = 'serve'"
+                    )
+            fields["serve"] = cls._parse_serve(srv, source, fields)
+        else:
+            if srv:
+                raise ScenarioError(
+                    f"{source}: [serve] is a serve-kind section; "
+                    f"this scenario is kind = 'run'"
+                )
+            cls._parse_run(wl, run, faults, source, fields)
+        try:
+            return cls(**fields)
+        except ValueError as exc:
+            if isinstance(exc, ScenarioError):
+                raise
+            raise ScenarioError(f"{source}: {exc}") from exc
+
+    @classmethod
+    def _parse_run(cls, wl, run, faults, source, fields) -> None:
+        _unknown_keys(
+            wl,
+            ("name", "preset", "params", "apps", "arrival", "arrival_params"),
+            f"{source} [workload]",
+        )
+        if "preset" in wl and "apps" in wl:
+            raise ScenarioError(
+                f"{source} [workload]: give either preset or apps, not both"
+            )
+        fields["workload_name"] = str(wl.get("name", "cli"))
+        if "preset" in wl:
+            fields["preset"] = str(wl["preset"])
+            fields["preset_params"] = _params_tuple(
+                wl.get("params"), f"{source} [workload] params"
+            )
+        elif "apps" in wl:
+            fields["apps"] = _parse_app_list(wl["apps"], f"{source} [workload] apps")
+        fields["arrival"] = str(wl.get("arrival", "periodic"))
+        fields["arrival_params"] = _params_tuple(
+            wl.get("arrival_params"), f"{source} [workload] arrival_params"
+        )
+
+        _unknown_keys(run, ("mode", "rate_mbps", "execute"), f"{source} [run]")
+        fields["mode"] = str(run.get("mode", "api"))
+        fields["rate_mbps"] = float(run.get("rate_mbps", 200.0))
+        fields["execute"] = bool(run.get("execute", True))
+
+        if faults:
+            allowed = tuple(
+                f.name for f in dataclasses.fields(FaultConfig) if f.name != "script"
+            )
+            _unknown_keys(faults, allowed, f"{source} [faults]")
+            kinds = faults.pop("kinds", None)
+            if kinds is not None:
+                if isinstance(kinds, str):
+                    kinds = FaultConfig.parse_kinds(kinds)
+                else:
+                    kinds = tuple(FAULT_KINDS.get(str(k)).kind for k in kinds)
+                faults["kinds"] = kinds
+            try:
+                fields["faults"] = FaultConfig(**faults)
+            except ValueError as exc:
+                raise ScenarioError(f"{source} [faults]: {exc}") from exc
+
+    @classmethod
+    def _parse_serve(cls, srv, source, fields) -> ServeSection:
+        allowed = (
+            "duration", "arrival", "tenants", "slo_ms", "apps", "mode", "admission",
+        )
+        _unknown_keys(srv, allowed, f"{source} [serve]")
+        if "mode" in srv:
+            fields["mode"] = str(srv["mode"])
+        admission = srv.get("admission") or {}
+        if not isinstance(admission, Mapping):
+            raise ScenarioError(f"{source}: [serve.admission] must be a table")
+        adm_allowed = tuple(f.name for f in dataclasses.fields(AdmissionConfig))
+        _unknown_keys(admission, adm_allowed, f"{source} [serve.admission]")
+        kwargs: dict[str, Any] = dict(admission)
+        if "duration" in srv:
+            kwargs["duration"] = float(srv["duration"])
+        if "arrival" in srv:
+            kwargs["arrival"] = str(srv["arrival"])
+        if "tenants" in srv:
+            kwargs["tenants"] = int(srv["tenants"])
+        if "slo_ms" in srv:
+            kwargs["slo_ms"] = float(srv["slo_ms"])
+        if "apps" in srv:
+            kwargs["apps"] = _parse_app_list(srv["apps"], f"{source} [serve] apps")
+        try:
+            return ServeSection(**kwargs)
+        except ValueError as exc:
+            if isinstance(exc, ScenarioError):
+                raise
+            raise ScenarioError(f"{source} [serve]: {exc}") from exc
+
+    # ------------------------------------------------------------------ #
+    # canonical form
+    # ------------------------------------------------------------------ #
+
+    def canonical(self) -> dict:
+        """Fully resolved, JSON-able form: every default explicit.
+
+        Two spellings of the same scenario (key order, omitted defaults,
+        TOML vs JSON) canonicalize identically, so :meth:`digest` names
+        the experiment, not the document.  Only kind-relevant sections
+        appear - a run spec's digest does not move when serve defaults do.
+        """
+        doc: dict[str, Any] = {
+            "scenario": {
+                "name": self.name,
+                "kind": self.kind,
+                "seed": self.seed,
+                "trials": self.trials,
+            },
+            "platform": {"name": self.platform, **dict(self.platform_params)},
+            "scheduler": {"name": self.scheduler},
+            "engine": {"event_core": self.event_core, "audit": self.audit},
+        }
+        if self.telemetry_interval_s is not None:
+            doc["telemetry"] = {"interval_s": self.telemetry_interval_s}
+        if self.kind == "run":
+            workload: dict[str, Any] = {"name": self.workload_name}
+            if self.preset is not None:
+                workload["preset"] = self.preset
+                if self.preset_params:
+                    workload["params"] = dict(self.preset_params)
+            else:
+                workload["apps"] = [
+                    {"name": a.name, "count": a.count, **dict(a.params)}
+                    for a in self.apps
+                ]
+            workload["arrival"] = self.arrival
+            if self.arrival_params:
+                workload["arrival_params"] = dict(self.arrival_params)
+            doc["workload"] = workload
+            doc["run"] = {
+                "mode": self.mode,
+                "rate_mbps": self.rate_mbps,
+                "execute": self.execute,
+            }
+            if self.faults is not None:
+                row = dataclasses.asdict(self.faults)
+                row["kinds"] = [k.value for k in self.faults.kinds]
+                row.pop("script", None)
+                doc["faults"] = row
+        else:
+            serve = self.serve
+            doc["serve"] = {
+                "duration": serve.duration,
+                "arrival": serve.arrival,
+                "tenants": serve.tenants,
+                "slo_ms": serve.slo_ms,
+                "mode": self.mode,
+                "apps": [
+                    {"name": a.name, "count": a.count, **dict(a.params)}
+                    for a in serve.apps
+                ],
+                "admission": dataclasses.asdict(serve.admission_config()),
+            }
+        return doc
+
+    def digest(self) -> str:
+        """Content address of the canonical form (sha256 hex)."""
+        blob = json.dumps(self.canonical(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    # ------------------------------------------------------------------ #
+    # builders: the same objects the flag-driven CLI constructs
+    # ------------------------------------------------------------------ #
+
+    def build_platform(self) -> PlatformConfig:
+        return PLATFORMS.get(self.platform).build_config(
+            **dict(self.platform_params)
+        )
+
+    def build_config(self) -> RuntimeConfig:
+        telemetry = None
+        if self.telemetry_interval_s is not None:
+            from repro.telemetry import TelemetryConfig
+
+            telemetry = TelemetryConfig(sample_interval_s=self.telemetry_interval_s)
+        return RuntimeConfig(
+            scheduler=self.scheduler,
+            # serve runs are always timing-only, exactly like ``repro serve``
+            execute_kernels=self.execute if self.kind == "run" else False,
+            faults=self.faults,
+            telemetry=telemetry,
+            audit=self.audit,
+            event_core=self.event_core,
+        )
+
+    def build_workload(self) -> WorkloadSpec:
+        if self.kind != "run":
+            raise ScenarioError(f"scenario {self.name!r} is serve-kind")
+        if self.preset is not None:
+            return WORKLOADS.get(self.preset)(**dict(self.preset_params))
+        entries = tuple(
+            WorkloadEntry(APPS.get(a.name).factory(**dict(a.params)), a.count)
+            for a in self.apps
+        )
+        return WorkloadSpec(
+            name=self.workload_name,
+            entries=entries,
+            arrival_process=self.arrival,
+            arrival_params=self.arrival_params,
+        )
+
+    def build_serve(self) -> ServeConfig:
+        if self.kind != "serve":
+            raise ScenarioError(f"scenario {self.name!r} is run-kind")
+        serve = self.serve
+        arrival = ArrivalSpec.parse(serve.arrival)
+        apps = tuple(
+            APPS.get(a.name).factory(**dict(a.params))
+            for a in serve.apps
+            for _ in range(a.count)
+        )
+        # tenant naming matches _serve_config_from_args: "tenant" when
+        # single, "tenant<i>" otherwise - names feed RNG labels downstream
+        return ServeConfig(
+            tenants=tuple(
+                TenantSpec(
+                    f"tenant{i}" if serve.tenants > 1 else "tenant",
+                    arrival,
+                    apps=apps,
+                    slo_s=serve.slo_ms / 1e3,
+                )
+                for i in range(serve.tenants)
+            ),
+            duration=serve.duration,
+            admission=serve.admission_config(),
+            mode=self.mode,
+            scheduler=self.scheduler,
+        )
+
+    def describe(self) -> str:
+        """One summary line for CLI listings."""
+        if self.kind == "serve":
+            body = (
+                f"{self.serve.arrival} x {self.serve.tenants} tenant(s), "
+                f"{self.serve.duration:g} s window"
+            )
+        else:
+            workload = self.preset or ",".join(
+                f"{a.name}:{a.count}" for a in self.apps
+            )
+            body = f"{workload} @ {self.rate_mbps:g} Mbps {self.mode}"
+        return (
+            f"{self.name} [{self.kind}] {self.platform}/{self.scheduler}: {body}"
+        )
+
+
+def load_scenario(path: Union[str, Path]) -> ScenarioSpec:
+    """Load and validate a ``.toml`` or ``.json`` scenario document."""
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+    except OSError as exc:
+        raise ScenarioError(f"cannot read scenario {path}: {exc}") from exc
+    suffix = path.suffix.lower()
+    if suffix == ".toml":
+        try:
+            import tomllib
+        except ModuleNotFoundError:  # pragma: no cover - Python 3.10
+            raise ScenarioError(
+                f"{path}: TOML scenario specs need Python >= 3.11 "
+                f"(or rewrite the spec as JSON)"
+            ) from None
+        try:
+            data = tomllib.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, tomllib.TOMLDecodeError) as exc:
+            raise ScenarioError(f"{path}: invalid TOML: {exc}") from exc
+    elif suffix == ".json":
+        try:
+            data = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ScenarioError(f"{path}: invalid JSON: {exc}") from exc
+    else:
+        raise ScenarioError(
+            f"{path}: unknown scenario format {suffix!r} (use .toml or .json)"
+        )
+    return ScenarioSpec.from_mapping(data, source=str(path))

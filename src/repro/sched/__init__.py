@@ -1,13 +1,22 @@
 """CEDR scheduling heuristics.
 
 The paper's evaluation uses RR, EFT, ETF, and HEFT_RT
-(:data:`PAPER_SCHEDULERS`); the wider CEDR ecosystem's scheduler studies
+(:func:`paper_schedulers`); the wider CEDR ecosystem's scheduler studies
 also include MET and random mapping, provided here for the ablation
-benches.  Importing this package registers everything; instantiate by name
-through :func:`make_scheduler`.
+benches.  Importing this package registers everything in
+:data:`SCHEDULERS` (the typed plugin registry from :mod:`repro.registry`);
+instantiate by name through ``SCHEDULERS.create(name, ...)``.  Third-party
+packages plug in via :func:`register_scheduler` or the
+``repro.schedulers`` entry-point group.
+
+``PAPER_SCHEDULERS`` / ``EXTRA_SCHEDULERS`` / ``make_scheduler`` remain as
+deprecated shims over the registry.
 """
 
+import warnings
+
 from .base import (
+    SCHEDULERS,
     Scheduler,
     SchedulerError,
     available_schedulers,
@@ -21,18 +30,53 @@ from .met import MinimumExecutionTime
 from .random_sched import RandomScheduler
 from .rr import RoundRobin
 
-#: Scheduler names in the order the paper's figures present them.
-PAPER_SCHEDULERS = ("rr", "eft", "etf", "heft_rt")
+#: the paper's heuristics, in the order its figures present them
+_PAPER_ORDER = ("rr", "eft", "etf", "heft_rt")
 
-#: Extra heuristics from the wider CEDR scheduler repertoire [12].
-EXTRA_SCHEDULERS = ("met", "random")
+
+def paper_schedulers() -> tuple[str, ...]:
+    """The paper's four heuristics, in figure presentation order."""
+    return tuple(name for name in _PAPER_ORDER if name in SCHEDULERS)
+
+
+def extra_schedulers() -> tuple[str, ...]:
+    """Every registered heuristic beyond the paper's four, sorted.
+
+    Registry-backed: a scheduler plugged in by a third-party package (or a
+    test) shows up here - and therefore in ``repro list`` - automatically.
+    """
+    paper = set(_PAPER_ORDER)
+    return tuple(name for name in SCHEDULERS.names() if name not in paper)
+
+
+_DEPRECATED_TUPLES = {
+    "PAPER_SCHEDULERS": paper_schedulers,
+    "EXTRA_SCHEDULERS": extra_schedulers,
+}
+
+
+def __getattr__(name):
+    fn = _DEPRECATED_TUPLES.get(name)
+    if fn is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    warnings.warn(
+        f"repro.sched.{name} is deprecated; use "
+        f"repro.sched.{fn.__name__}()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return fn()
+
 
 __all__ = [
     "Scheduler",
     "SchedulerError",
+    "SCHEDULERS",
     "register_scheduler",
     "make_scheduler",
     "available_schedulers",
+    "paper_schedulers",
+    "extra_schedulers",
     "RoundRobin",
     "EarliestFinishTime",
     "EarliestTaskFirst",

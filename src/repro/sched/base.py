@@ -25,9 +25,12 @@ falls back to the scalar reference path with identical results.
 from __future__ import annotations
 
 import abc
+import warnings
 from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 import numpy as np
+
+from repro.registry import Registry
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.platforms import PE
@@ -36,6 +39,7 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = [
     "Scheduler",
     "SchedulerError",
+    "SCHEDULERS",
     "candidate_mask",
     "estimate_matrix",
     "free_vector",
@@ -239,29 +243,36 @@ def greedy_earliest_finish(
     return assignments
 
 
-_REGISTRY: dict[str, type[Scheduler]] = {}
+#: the scheduler registry: heuristic classes keyed by lowercase name.
+#: Third-party distributions plug in via the ``repro.schedulers``
+#: entry-point group; in-tree and test code uses :func:`register_scheduler`.
+SCHEDULERS: Registry[type[Scheduler]] = Registry(
+    "scheduler", entry_point_group="repro.schedulers"
+)
 
 
 def register_scheduler(cls: type[Scheduler]) -> type[Scheduler]:
     """Class decorator adding a heuristic to the runtime's registry."""
-    key = cls.name.lower()
-    if key in _REGISTRY:
-        raise ValueError(f"scheduler {key!r} registered twice")
-    _REGISTRY[key] = cls
+    SCHEDULERS.register(cls.name, cls)
     return cls
 
 
 def make_scheduler(name: str, **kwargs) -> Scheduler:
-    """Instantiate a registered heuristic by name (case-insensitive)."""
-    try:
-        cls = _REGISTRY[name.lower()]
-    except KeyError:
-        raise KeyError(
-            f"unknown scheduler {name!r}; available: {sorted(_REGISTRY)}"
-        ) from None
-    return cls(**kwargs)
+    """Deprecated: use ``SCHEDULERS.create(name, ...)``.
+
+    Kept as a thin shim so pre-registry figure modules and user code keep
+    working; the lookup (case-insensitive, unknown names raise a
+    ``KeyError``-compatible error) is unchanged.
+    """
+    warnings.warn(
+        "make_scheduler() is deprecated; use "
+        "repro.sched.SCHEDULERS.create(name, ...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return SCHEDULERS.create(name, **kwargs)
 
 
 def available_schedulers() -> list[str]:
     """Names of all registered heuristics (sorted)."""
-    return sorted(_REGISTRY)
+    return list(SCHEDULERS.names())

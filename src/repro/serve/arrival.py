@@ -38,11 +38,14 @@ import json
 import math
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Iterator, Mapping, Optional, Union
+from typing import Callable, Iterator, Optional, Union
 
 import numpy as np
 
+from repro.registry import Registry
+
 __all__ = [
+    "ARRIVALS",
     "ArrivalSpec",
     "register_arrival",
     "available_arrivals",
@@ -53,7 +56,13 @@ __all__ = [
 #: generator factory signature: (spec, seeded rng) -> nondecreasing instants
 ArrivalFn = Callable[["ArrivalSpec", np.random.Generator], Iterator[float]]
 
-_REGISTRY: dict[str, ArrivalFn] = {}
+#: the arrival-process registry - the first conforming client of
+#: :class:`repro.registry.Registry` (this module *was* the proof-of-pattern
+#: one-off dict before the facility existed).  Third-party processes plug
+#: in via the ``repro.arrivals`` entry-point group.
+ARRIVALS: Registry[ArrivalFn] = Registry(
+    "arrival process", entry_point_group="repro.arrivals"
+)
 
 
 @dataclass(frozen=True)
@@ -70,11 +79,9 @@ class ArrivalSpec:
     params: tuple[tuple[str, Union[float, str]], ...] = ()
 
     def __post_init__(self) -> None:
-        if self.kind not in _REGISTRY:
-            raise ValueError(
-                f"unknown arrival process {self.kind!r}; "
-                f"available: {available_arrivals()}"
-            )
+        # registry lookup: RegistryError is a ValueError, and the message
+        # lists every available process with a did-you-mean hint
+        ARRIVALS.get(self.kind)
         names = [name for name, _ in self.params]
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate arrival parameter in {names}")
@@ -138,19 +145,12 @@ class ArrivalSpec:
 
 def register_arrival(kind: str) -> Callable[[ArrivalFn], ArrivalFn]:
     """Register a generator factory under *kind* (decorator)."""
-
-    def deco(fn: ArrivalFn) -> ArrivalFn:
-        if kind in _REGISTRY:
-            raise ValueError(f"arrival process {kind!r} registered twice")
-        _REGISTRY[kind] = fn
-        return fn
-
-    return deco
+    return ARRIVALS.register(kind)
 
 
 def available_arrivals() -> tuple[str, ...]:
     """Registered arrival-process names, sorted."""
-    return tuple(sorted(_REGISTRY))
+    return ARRIVALS.names()
 
 
 def make_arrival_stream(
@@ -165,7 +165,7 @@ def make_arrival_stream(
     looped ``trace``); callers take what they need (``islice`` for a
     closed batch, pull-until-duration for serve).
     """
-    return _REGISTRY[spec.kind](spec, rng)
+    return ARRIVALS.get(spec.kind)(spec, rng)
 
 
 def _period_of(spec: ArrivalSpec) -> float:

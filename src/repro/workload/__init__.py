@@ -7,10 +7,14 @@ from .injection import (
     reduced_injection_rates,
 )
 from .workload import (
+    WORKLOADS,
     WorkloadEntry,
     WorkloadSpec,
     autonomous_vehicle_workload,
+    available_workloads,
+    make_workload,
     radar_comms_workload,
+    register_workload,
 )
 
 __all__ = [
@@ -18,8 +22,12 @@ __all__ = [
     "reduced_injection_rates",
     "periodic_arrivals",
     "poisson_arrivals",
+    "WORKLOADS",
     "WorkloadEntry",
     "WorkloadSpec",
+    "register_workload",
+    "make_workload",
+    "available_workloads",
     "radar_comms_workload",
     "autonomous_vehicle_workload",
 ]

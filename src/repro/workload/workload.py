@@ -15,11 +15,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-import numpy as np
-
 from itertools import islice
 
 from repro.apps import CedrApplication, LaneDetection, PulseDoppler, Variant, WifiTx
+from repro.registry import Registry
 from repro.runtime.app import AppInstance
 from repro.serve.arrival import available_arrivals, make_arrival_stream
 from repro.simcore import child_rng
@@ -27,11 +26,35 @@ from repro.simcore import child_rng
 from .injection import stream_spec
 
 __all__ = [
+    "WORKLOADS",
     "WorkloadEntry",
     "WorkloadSpec",
+    "register_workload",
+    "make_workload",
+    "available_workloads",
     "radar_comms_workload",
     "autonomous_vehicle_workload",
 ]
+
+#: named workload presets - factories returning a :class:`WorkloadSpec`.
+#: Scenario specs reference these by name (``preset = "radar-comms"``);
+#: third-party mixes plug in via the ``repro.workloads`` entry-point group.
+WORKLOADS: Registry = Registry("workload", entry_point_group="repro.workloads")
+
+
+def register_workload(name: str):
+    """Decorator registering a ``(**params) -> WorkloadSpec`` factory."""
+    return WORKLOADS.register(name)
+
+
+def make_workload(name: str, **params) -> "WorkloadSpec":
+    """Build a registered workload preset by name."""
+    return WORKLOADS.get(name)(**params)
+
+
+def available_workloads() -> tuple[str, ...]:
+    """Registered workload-preset names, sorted."""
+    return WORKLOADS.names()
 
 
 @dataclass(frozen=True)
@@ -116,6 +139,7 @@ class WorkloadSpec:
         return out
 
 
+@register_workload("radar-comms")
 def radar_comms_workload(
     n_pd: int = 5,
     n_tx: int = 5,
@@ -133,6 +157,7 @@ def radar_comms_workload(
     )
 
 
+@register_workload("autonomous-vehicle")
 def autonomous_vehicle_workload(
     n_ld: int = 1,
     n_pd: int = 5,

@@ -1,0 +1,51 @@
+"""The pre-registry surfaces stay callable, as deprecated shims."""
+
+import pytest
+
+import repro.cli
+import repro.sched
+from repro.sched import available_schedulers, make_scheduler, paper_schedulers
+
+
+def test_make_scheduler_still_works_but_warns():
+    with pytest.warns(DeprecationWarning, match="SCHEDULERS.create"):
+        sched = make_scheduler("rr")
+    assert sched.name == "rr"
+
+
+def test_paper_schedulers_module_attr_warns():
+    with pytest.warns(DeprecationWarning, match="paper_schedulers"):
+        legacy = repro.sched.PAPER_SCHEDULERS
+    assert legacy == paper_schedulers()
+    assert legacy == ("rr", "eft", "etf", "heft_rt")  # presentation order
+
+
+def test_extra_schedulers_module_attr_warns():
+    with pytest.warns(DeprecationWarning, match="extra_schedulers"):
+        legacy = repro.sched.EXTRA_SCHEDULERS
+    assert set(legacy) == set(available_schedulers()) - set(paper_schedulers())
+
+
+def test_cli_app_factories_shim():
+    with pytest.warns(DeprecationWarning, match="repro.apps.APPS"):
+        factories = repro.cli.APP_FACTORIES
+    assert set(factories) == {"PD", "TX", "RX", "LD", "TM"}
+    app = factories["PD"]()  # zero-arg call keeps the historical contract
+    assert app.name.startswith("PD")
+
+
+def test_cli_platform_names_shim():
+    with pytest.warns(DeprecationWarning, match="available_platforms"):
+        names = repro.cli.PLATFORM_NAMES
+    assert "zcu102" in names and "jetson" in names
+
+
+def test_cli_figure_ids_shim():
+    with pytest.warns(DeprecationWarning, match="available_figures"):
+        ids = repro.cli.FIGURE_IDS
+    assert "fig5" in ids and "saturation" in ids
+
+
+def test_unknown_cli_attr_still_raises():
+    with pytest.raises(AttributeError):
+        repro.cli.NO_SUCH_THING

@@ -1,0 +1,81 @@
+"""Third-party plugins ride every registry-driven surface end to end."""
+
+import pytest
+
+from repro.sched import SCHEDULERS, extra_schedulers
+from repro.sched.base import register_scheduler
+
+
+@pytest.fixture
+def lottery_scheduler():
+    """Register a throwaway 'third-party' scheduler, then clean up."""
+
+    @register_scheduler
+    class LotteryScheduler(SCHEDULERS.get("rr")):
+        name = "lottery"
+
+    yield LotteryScheduler
+    SCHEDULERS.unregister("lottery")
+
+
+def test_plugin_scheduler_instantiates(lottery_scheduler):
+    assert SCHEDULERS.create("lottery").name == "lottery"
+    assert "lottery" in extra_schedulers()  # registry-backed listing
+
+
+def test_plugin_scheduler_runs_through_cli(lottery_scheduler, capsys):
+    from repro.cli import main
+
+    rc = main([
+        "run", "--apps", "PD:1,TX:1", "--rate", "200",
+        "--scheduler", "lottery", "--timing-only",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "scheduler=lottery" in out
+    assert "2 completed" in out
+
+
+def test_plugin_scheduler_appears_in_repro_list(lottery_scheduler, capsys):
+    from repro.cli import main
+
+    assert main(["list"]) == 0
+    assert "lottery" in capsys.readouterr().out
+
+
+def test_unknown_scheduler_error_names_plugin(lottery_scheduler):
+    with pytest.raises(KeyError, match="lotterry"):
+        SCHEDULERS.get("lotterry")
+    try:
+        SCHEDULERS.get("lotterry")
+    except KeyError as exc:
+        assert "lottery" in str(exc)  # listed and suggested
+        assert "did you mean" in str(exc)
+
+
+def test_plugin_figure_runs_through_cli(capsys):
+    from repro.cli import main
+    from repro.experiments import FIGURES, register_figure
+
+    @register_figure("figtest", summary="plugin smoke figure")
+    def _render(args) -> int:
+        print(f"figtest rendered with trials={args.trials}")
+        return 0
+
+    try:
+        rc = main(["figure", "figtest", "--trials", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "figtest rendered with trials=3" in out
+    finally:
+        FIGURES.unregister("figtest")
+
+
+def test_plugin_scheduler_runs_in_scenario(lottery_scheduler):
+    from repro.scenario import ScenarioSpec, run_scenario
+
+    spec = ScenarioSpec(name="plugin-run", scheduler="lottery",
+                        rate_mbps=300.0, execute=False)
+    results = run_scenario(spec, trials=1)
+    assert len(results) == 1
+    assert results[0].n_apps == 4

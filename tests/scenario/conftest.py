@@ -1,0 +1,10 @@
+"""Scenario-layer fixtures."""
+
+from pathlib import Path
+
+import pytest
+
+
+@pytest.fixture
+def repo_root() -> Path:
+    return Path(__file__).resolve().parents[2]
