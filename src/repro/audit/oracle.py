@@ -12,6 +12,9 @@ indistinguishable -
 ``scalar``      scalar ``estimate(task, pe)`` vs vectorized columnar rounds
 ``telemetry``   telemetry off vs on (identical outside the snapshot field)
 ``audit``       online auditor off vs on
+``event_core``  calendar-queue timer wheel vs the reference binary heap
+``core_impl``   per-object reference main loop vs the flat
+                structure-of-arrays fast path (:mod:`repro.simcore.flatcore`)
 ``scenario``    flag-driven sweep vs the equivalent declarative
                 :class:`~repro.scenario.ScenarioSpec` (opt-in: pass a
                 ``scenario=`` template)
@@ -48,12 +51,14 @@ __all__ = [
 ]
 
 #: every paired configuration :func:`diff_run` knows how to produce.
-DEFAULT_VARIANTS = ("jobs", "cache", "scalar", "telemetry", "audit", "event_core")
+DEFAULT_VARIANTS = (
+    "jobs", "cache", "scalar", "telemetry", "audit", "event_core", "core_impl",
+)
 
 #: the paired configurations :func:`diff_serve` covers.  ``telemetry`` is
 #: omitted: a serve cell's config carries no sampler by default and the
 #: embedded ``RunResult.telemetry`` field is the only thing it would touch.
-SERVE_VARIANTS = ("jobs", "cache", "scalar", "audit", "event_core")
+SERVE_VARIANTS = ("jobs", "cache", "scalar", "audit", "event_core", "core_impl")
 
 _RESULT_FIELDS = tuple(f.name for f in dataclasses.fields(RunResult))
 
@@ -323,6 +328,13 @@ def diff_run(
             other = "heap" if base_config.event_core == "wheel" else "wheel"
             cfg = base_config.with_event_core(other)
             outcomes.append(_compare(variant, baseline, grid(cfg)))
+        elif variant == "core_impl":
+            # Flip the engine main loop to the *other* implementation; the
+            # flat SoA loop preserves float op order exactly, so every
+            # cell must be bit-identical.
+            other = "flat" if base_config.core_impl == "objects" else "objects"
+            cfg = base_config.with_core_impl(other)
+            outcomes.append(_compare(variant, baseline, grid(cfg)))
         elif variant == "scenario":
             from repro.scenario import run_scenario
 
@@ -465,6 +477,10 @@ def diff_serve(
         elif variant == "event_core":
             other = "heap" if base_config.event_core == "wheel" else "wheel"
             cfg = base_config.with_event_core(other)
+            outcomes.append(_compare_serve(variant, baseline, grid(cfg)))
+        elif variant == "core_impl":
+            other = "flat" if base_config.core_impl == "objects" else "objects"
+            cfg = base_config.with_core_impl(other)
             outcomes.append(_compare_serve(variant, baseline, grid(cfg)))
         elif variant == "scenario":
             from repro.scenario import run_scenario

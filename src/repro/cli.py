@@ -46,7 +46,12 @@ from repro.runtime import CedrRuntime, RuntimeConfig
 from repro.runtime.trace import write_chrome_trace
 from repro.sched import available_schedulers
 from repro.serve.admission import ADMISSION_POLICIES
-from repro.simcore import DEFAULT_EVENT_CORE, EVENT_CORES
+from repro.simcore import (
+    CORE_IMPLS,
+    DEFAULT_CORE_IMPL,
+    DEFAULT_EVENT_CORE,
+    EVENT_CORES,
+)
 from repro.workload import WorkloadEntry, WorkloadSpec
 
 __all__ = ["main", "build_parser"]
@@ -123,6 +128,16 @@ def _add_event_core_option(parser, *, long_help: bool = False) -> None:
                         default=DEFAULT_EVENT_CORE, help=help_text)
 
 
+def _add_core_impl_option(parser, *, long_help: bool = False) -> None:
+    help_text = "engine main-loop implementation"
+    if long_help:
+        help_text += (": the per-object reference loop (default) or the "
+                      "flat structure-of-arrays fast path; results are "
+                      "bit-identical either way")
+    parser.add_argument("--core-impl", choices=CORE_IMPLS,
+                        default=DEFAULT_CORE_IMPL, help=help_text)
+
+
 def _add_admission_options(parser, *, default: str = "shed",
                            caps: bool = True) -> None:
     """The admission-control block shared by serve and ``audit diff``."""
@@ -180,6 +195,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--timing-only", action="store_true",
                      help="skip functional kernel execution")
     _add_event_core_option(run, long_help=True)
+    _add_core_impl_option(run, long_help=True)
     run.add_argument("--energy", action="store_true", help="print an energy estimate")
     run.add_argument("--trace", metavar="PATH", default=None,
                      help="write a Chrome trace (chrome://tracing) to PATH")
@@ -246,6 +262,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--scheduler", default="heft_rt")
     serve.add_argument("--seed", type=int, default=0)
     _add_event_core_option(serve)
+    _add_core_impl_option(serve)
     serve.add_argument("--audit", action="store_true",
                        help="run with the online schedule auditor enabled")
 
@@ -257,9 +274,10 @@ def build_parser() -> argparse.ArgumentParser:
                     "With the literal target 'diff': run one sweep under "
                     "paired configurations (serial vs --jobs, cached vs "
                     "uncached, scalar vs vectorized estimates, telemetry "
-                    "on/off, audit on/off, heap vs wheel event core, and "
-                    "optionally flag-built vs declarative scenario) and "
-                    "require bit-identical results.",
+                    "on/off, audit on/off, heap vs wheel event core, "
+                    "object vs flat engine core, and optionally flag-built "
+                    "vs declarative scenario) and require bit-identical "
+                    "results.",
     )
     audit.add_argument("target",
                        help="path to a logbook JSON dump, or 'diff' to run "
@@ -280,7 +298,7 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--variants", default=None,
                        help="diff only: comma list of pairings to run "
                             "(default: all of jobs,cache,scalar,telemetry,"
-                            "audit,event_core)")
+                            "audit,event_core,core_impl)")
     audit.add_argument("--execute", action="store_true",
                        help="diff only: execute kernels functionally "
                             "instead of timing-only")
@@ -292,7 +310,7 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--serve", action="store_true",
                        help="diff only: run the serve-mode oracle instead "
                             "of the batch one (pairings: "
-                            "jobs,cache,scalar,audit,event_core)")
+                            "jobs,cache,scalar,audit,event_core,core_impl)")
     audit.add_argument("--duration", type=float, default=0.2,
                        help="diff --serve only: service window, simulated "
                             "seconds")
@@ -428,6 +446,7 @@ def _cmd_list() -> int:
     print("fault kinds:", ", ".join(available_fault_kinds()))
     print("admission  :", ", ".join(ADMISSION_POLICIES))
     print("event cores:", ", ".join(EVENT_CORES))
+    print("core impls :", ", ".join(CORE_IMPLS))
     print("figures    :", ", ".join(available_figures()))
     return 0
 
@@ -470,6 +489,7 @@ def _cmd_run(args) -> int:
             telemetry=telemetry_cfg,
             audit=args.audit,
             event_core=args.event_core,
+            core_impl=args.core_impl,
         ),
     )
     runtime.start()
@@ -591,6 +611,7 @@ def _cmd_serve(args) -> int:
         execute_kernels=False,
         audit=args.audit,
         event_core=args.event_core,
+        core_impl=args.core_impl,
     )
     result = serve_once(_make_platform(args), serve, seed=args.seed, config=config)
 

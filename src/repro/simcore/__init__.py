@@ -7,7 +7,7 @@ CEDR runtimes execute.
 """
 
 from .cores import CompletionIndex, Core, Device
-from .engine import Engine
+from .engine import CORE_IMPLS, DEFAULT_CORE_IMPL, Engine
 from .errors import SimDeadlock, SimError, SimStateError, SimTimeError
 from .process import (
     AcquireDevice,
@@ -40,6 +40,8 @@ __all__ = [
     "make_timer_queue",
     "EVENT_CORES",
     "DEFAULT_EVENT_CORE",
+    "CORE_IMPLS",
+    "DEFAULT_CORE_IMPL",
     "SimThread",
     "ThreadState",
     "Request",

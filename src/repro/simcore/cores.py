@@ -53,11 +53,31 @@ if TYPE_CHECKING:  # pragma: no cover
     from .engine import Engine
     from .process import SimThread
 
-__all__ = ["Core", "CompletionIndex", "Device"]
+__all__ = ["Core", "CompletionIndex", "Device", "completion_instant"]
 
 #: Remaining-work threshold below which a compute segment counts as finished.
 #: Guards against float round-off leaving 1e-18 core-seconds of zombie work.
 WORK_EPSILON = 1e-12
+
+
+def completion_instant(core: "Core", now: float) -> Optional[float]:
+    """Absolute wall-clock instant of *core*'s earliest completion, or None.
+
+    The one authoritative copy of the virtual-time -> wall-time conversion:
+    ``Core.completion_at``, ``CompletionIndex.refresh``, and the flat-core
+    fast path (:mod:`repro.simcore.flatcore`) all derive their instants from
+    this formula, so the mirrors cannot drift.  The float operations (the
+    ``k``-share rate product, then one subtraction, one division, one
+    addition - in that order) are the bit-identity contract: every caller
+    that inlines this for speed must preserve the exact op order.
+    """
+    heap = core._finish_heap
+    n = len(heap)
+    if not n:
+        return None
+    k = n + core._spinners
+    rate = core.speed / (k * (1.0 + core.cs_alpha * (k - 1)))
+    return now + (heap[0][0] - core._virtual) / rate
 
 
 class Core:
@@ -91,7 +111,6 @@ class Core:
         "speed",
         "cs_alpha",
         "_spinners",
-        "_nrun",
         "delivered",
         "busy_time",
         "_virtual",
@@ -99,9 +118,9 @@ class Core:
         "_seq",
         "_completion_at",
         "_completion_dirty",
-        "_load",
         "_cidx",
         "_cpos",
+        "_flat_min",
     )
 
     def __init__(
@@ -117,18 +136,20 @@ class Core:
         self.speed = speed
         self.cs_alpha = cs_alpha
         self._spinners = spinners
-        #: number of threads with an active segment here; the thread ->
-        #: finish-virtual mapping lives on the threads themselves
-        #: (``SimThread._on_core`` / ``_finish_virtual``) plus the finish
-        #: heap, so the hot add/complete path never touches a dict.
-        self._nrun = 0
         #: total dedicated-core-seconds delivered (for utilization accounting)
         self.delivered: float = 0.0
         #: wall-seconds during which at least one thread was runnable here
         self.busy_time: float = 0.0
         #: dedicated-work seconds delivered per occupant since creation
         self._virtual: float = 0.0
-        #: (finish_virtual, seq, thread, work) min-heap of pending segments
+        #: (finish_virtual, seq, thread, work) min-heap of pending segments.
+        #: Doubles as the runnable count: every entry is exactly one active
+        #: segment, so ``len(_finish_heap)`` *is* the occupancy - the old
+        #: ``_nrun``/``_load`` twin counters were redundant mirrors of it
+        #: (and two attribute writes per event on the hot path).  The thread
+        #: -> finish-virtual mapping lives on the threads themselves
+        #: (``SimThread._on_core`` / ``_finish_virtual``) plus this heap, so
+        #: the hot add/complete path never touches a dict.
         self._finish_heap: list[tuple[float, int, "SimThread", float]] = []
         self._seq = 0
         #: cached absolute wall-clock instant of the earliest completion
@@ -136,15 +157,16 @@ class Core:
         #: unchanged, recomputed lazily otherwise.
         self._completion_at: Optional[float] = None
         self._completion_dirty = True
-        #: incrementally-maintained ``len(running) + spinners``; read by the
-        #: engine's floating-thread placement scan, which runs once per
-        #: compute segment and must not pay ``len()`` + property overhead.
-        self._load = spinners
         #: back-reference into the engine's :class:`CompletionIndex` (None
         #: for standalone cores); the dirty-push half of the invalidation
         #: protocol described on :meth:`completion_at`.
         self._cidx: Optional["CompletionIndex"] = None
         self._cpos = 0
+        #: flat-core scratch: min pending finish virtual, maintained only
+        #: while :func:`repro.simcore.flatcore.flat_run` is driving this
+        #: core (its pending list is unordered there, so the heap head
+        #: lives here); meaningless - and recomputed on entry - otherwise.
+        self._flat_min = math.inf
 
     # identity semantics: cores are placed in dicts/sets by the engine
     # (plain object hash/eq - no overrides needed on a non-dataclass)
@@ -158,7 +180,6 @@ class Core:
         # A spinner arriving/leaving changes the share count, hence the
         # per-thread rate, hence every pending completion instant.
         if value != self._spinners:
-            self._load += value - self._spinners
             self._spinners = value
             self._mark_completion_dirty()
 
@@ -180,15 +201,16 @@ class Core:
         thread migrating onto a core occupied by a spinning CEDR worker
         really does land in a contended slot, which is why the 3-core
         ZCU102 squeezes application threads while the Jetson's spare cores
-        do not (paper Figs 6 vs 8)."""
-        return self._load
+        do not (paper Figs 6 vs 8).  Derived live from the finish heap, so
+        it is correct even mid-batch inside the flat-core fast path."""
+        return len(self._finish_heap) + self._spinners
 
     @property
     def running(self) -> dict["SimThread", float]:
         """Snapshot of thread -> finish-virtual for the active segments.
 
         Rebuilt from the finish heap on access (each heap entry is exactly
-        one active segment); the hot path keeps only :attr:`_nrun` and the
+        one active segment); the hot path keeps only the heap and the
         per-thread slots, so this is an introspection view, not storage.
         """
         return {entry[2]: entry[0] for entry in self._finish_heap}
@@ -201,10 +223,8 @@ class Core:
         finish = self._virtual + work
         thread._on_core = self
         thread._finish_virtual = finish
-        self._nrun += 1
         self._seq += 1
         heapq.heappush(self._finish_heap, (finish, self._seq, thread, work))
-        self._load += 1
         self._mark_completion_dirty()
 
     def remaining_work(self, thread: "SimThread") -> float:
@@ -217,15 +237,16 @@ class Core:
         """Dedicated-work seconds delivered per wall second to each of the
         ``k`` runnable threads, including busy-polling spinners in the share
         count and the context-switch penalty."""
-        k = self._nrun + self._spinners
+        k = len(self._finish_heap) + self._spinners
         return self.speed / (k * (1.0 + self.cs_alpha * (k - 1)))
 
     def next_completion_in(self) -> Optional[float]:
-        """Wall-seconds until the earliest segment here finishes, or None."""
-        if not self._nrun:
-            return None
-        remaining = self._finish_heap[0][0] - self._virtual
-        return remaining / self._per_thread_rate()
+        """Wall-seconds until the earliest segment here finishes, or None.
+
+        Delegates to :func:`completion_instant` (relative form) so the
+        wall-time conversion exists in exactly one place."""
+        at = completion_instant(self, 0.0)
+        return None if at is None else at
 
     def completion_at(self, now: float) -> Optional[float]:
         """Cached absolute instant of the earliest completion (None = idle).
@@ -237,15 +258,7 @@ class Core:
         setter.
         """
         if self._completion_dirty:
-            n = self._nrun
-            if n:
-                # _per_thread_rate() inlined: this recompute runs once per
-                # engine iteration for every core whose composition changed
-                k = n + self._spinners
-                rate = self.speed / (k * (1.0 + self.cs_alpha * (k - 1)))
-                self._completion_at = now + (self._finish_heap[0][0] - self._virtual) / rate
-            else:
-                self._completion_at = None
+            self._completion_at = completion_instant(self, now)
             self._completion_dirty = False
         return self._completion_at
 
@@ -258,7 +271,8 @@ class Core:
         """
         if dt == 0.0:
             return []
-        n = self._nrun
+        heap = self._finish_heap
+        n = len(heap)
         if not n:
             if self._spinners:
                 # a busy-polling thread keeps the core active (and drawing
@@ -271,8 +285,7 @@ class Core:
         self._virtual = virtual
         self.delivered += dt * rate * n
         self.busy_time += dt
-        heap = self._finish_heap
-        if not heap or heap[0][0] > virtual + WORK_EPSILON:
+        if heap[0][0] > virtual + WORK_EPSILON:
             return []
         done: list["SimThread"] = []
         limit = virtual + WORK_EPSILON
@@ -284,9 +297,6 @@ class Core:
             # of per-advance rounding drift.
             thread.cpu_time += work
             done.append(thread)
-        completed = len(done)
-        self._nrun -= completed
-        self._load -= completed
         self._mark_completion_dirty()
         return done
 
@@ -350,19 +360,12 @@ class CompletionIndex:
             lst = self._instants_list
             for pos in dirty:
                 core = cores[pos]
-                # inlined Core.completion_at: this loop runs once per
-                # engine iteration over every core whose composition
-                # changed, and the method call would double its cost
+                # One shared recompute (completion_instant) instead of the
+                # old inlined copy of Core.completion_at: the two versions
+                # had drifted once already, and the call cost is paid only
+                # per *dirty* core per engine iteration.
                 if core._completion_dirty:
-                    n = core._nrun
-                    if n:
-                        k = n + core._spinners
-                        rate = core.speed / (k * (1.0 + core.cs_alpha * (k - 1)))
-                        core._completion_at = (
-                            now + (core._finish_heap[0][0] - core._virtual) / rate
-                        )
-                    else:
-                        core._completion_at = None
+                    core._completion_at = completion_instant(core, now)
                     core._completion_dirty = False
                 at = core._completion_at
                 lst[pos] = math.inf if at is None else at

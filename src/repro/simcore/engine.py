@@ -58,12 +58,20 @@ from .process import (
 from .rng import make_rng
 from .timerwheel import DEFAULT_EVENT_CORE, TimerEntry, make_timer_queue
 
-__all__ = ["Engine"]
+__all__ = ["Engine", "CORE_IMPLS", "DEFAULT_CORE_IMPL"]
 
 #: same-instant tolerance: timers within this window of the reached instant
 #: fire in the current drain (absorbs float round-off between a completion
 #: instant and a timer deadline computed from the same arithmetic).
 _INSTANT_EPSILON = 1e-15
+
+#: selectable main-loop implementations (``Engine(core_impl=...)``,
+#: ``$REPRO_CORE_IMPL``, ``repro run --core-impl``).  "objects" is the
+#: per-object reference loop below; "flat" is the fused structure-of-arrays
+#: fast path in :mod:`repro.simcore.flatcore`, proven bit-identical by the
+#: differential oracle's ``core_impl`` variant.
+CORE_IMPLS = ("objects", "flat")
+DEFAULT_CORE_IMPL = "objects"
 
 
 def _core_index(core: Core) -> int:
@@ -88,6 +96,15 @@ class Engine:
         ``$REPRO_EVENT_CORE`` before falling back to the default.  Both
         produce bit-identical schedules (``repro audit diff --variants
         event_core`` is the enforcing oracle).
+    core_impl:
+        Main-loop implementation: ``"objects"`` (the per-object reference
+        loop in this module, the default) or ``"flat"`` (the fused
+        structure-of-arrays fast path in :mod:`repro.simcore.flatcore`).
+        ``None`` reads ``$REPRO_CORE_IMPL`` before falling back to the
+        default.  Both produce bit-identical results (``repro audit diff
+        --variants core_impl`` is the enforcing oracle); the flat loop
+        elides *mid-batch* thread-state churn, see INTERNALS "The flat
+        core" for the exact observability contract.
     """
 
     def __init__(
@@ -95,6 +112,7 @@ class Engine:
         cores: int | Sequence[Core] = 1,
         seed: int = 0,
         event_core: Optional[str] = None,
+        core_impl: Optional[str] = None,
     ) -> None:
         if isinstance(cores, int):
             if cores < 1:
@@ -118,6 +136,18 @@ class Engine:
         if event_core is None:
             event_core = os.environ.get("REPRO_EVENT_CORE", DEFAULT_EVENT_CORE)
         self._timerq = make_timer_queue(event_core, now=0.0)
+        if core_impl is None:
+            core_impl = os.environ.get("REPRO_CORE_IMPL", DEFAULT_CORE_IMPL)
+        if core_impl not in CORE_IMPLS:
+            raise SimStateError(
+                f"unknown core_impl {core_impl!r}; expected one of {sorted(CORE_IMPLS)}"
+            )
+        #: main-loop implementation ("objects" reference loop vs the fused
+        #: "flat" fast path).  Switchable between ``run()`` calls via
+        #: :meth:`set_core_impl`: the flat loop restores the object-engine
+        #: tuple-heap representation at every exit, so the choice only
+        #: matters while a ``run()`` is executing.
+        self.core_impl = core_impl
         #: exact earliest pending timer instant (None = no live timers);
         #: maintained on every push/drain/cancel so the main loop never
         #: pays a queue peek just to decide the next event.
@@ -191,6 +221,20 @@ class Engine:
             new.push(when, seq, callback)
         self._timerq = new
         self._timer_next = new.peek()
+
+    def set_core_impl(self, kind: str) -> None:
+        """Select the main-loop implementation for subsequent ``run()`` calls.
+
+        Safe between runs: the flat loop's epilogue restores the exact
+        object-engine representation (sorted tuple heaps, synced per-core
+        sequence counters) at every exit, normal or exceptional, so the
+        two loops may be interleaved freely on one engine.
+        """
+        if kind not in CORE_IMPLS:
+            raise SimStateError(
+                f"unknown core_impl {kind!r}; expected one of {sorted(CORE_IMPLS)}"
+            )
+        self.core_impl = kind
 
     def event_core_stats(self) -> dict:
         """Event-core observability snapshot (``run --perf-json``)."""
@@ -268,7 +312,7 @@ class Engine:
         best: Optional[Core] = None
         best_load = 0
         for core in self.floating_pool:
-            load = core._load
+            load = len(core._finish_heap) + core._spinners
             if best is None or load < best_load or (load == best_load and core.index < best.index):
                 best = core
                 best_load = load
@@ -289,7 +333,6 @@ class Engine:
             else:
                 core = self._pick_core(thread, request.core)
                 thread.state = ThreadState.RUNNING
-                thread._current_core = core
                 core.add(thread, request.work)
         elif cls is Block or isinstance(request, Block):
             thread.state = ThreadState.BLOCKED
@@ -350,7 +393,8 @@ class Engine:
             # callers; the virtual-time arithmetic must match it exactly):
             # the method call plus completed-list round trip costs more
             # than the advance itself at high event rates.
-            n = core._nrun
+            heap = core._finish_heap
+            n = len(heap)
             if n:
                 k = n + core._spinners
                 rate = core.speed / (k * (1.0 + core.cs_alpha * (k - 1)))
@@ -358,20 +402,14 @@ class Engine:
                 core._virtual = virtual
                 core.delivered += dt * rate * n
                 core.busy_time += dt
-                heap = core._finish_heap
                 limit = virtual + WORK_EPSILON
-                if heap and heap[0][0] <= limit:
-                    completed = 0
+                if heap[0][0] <= limit:
                     while heap and heap[0][0] <= limit:
                         _, _, thread, work = heappop(heap)
                         thread._on_core = None
                         thread.cpu_time += work
                         thread.state = ready_state
-                        thread._current_core = None
                         ready.append((thread, None))
-                        completed += 1
-                    core._nrun -= completed
-                    core._load -= completed
                     if not core._completion_dirty:
                         core._completion_dirty = True
                         cidx = core._cidx
@@ -390,6 +428,10 @@ class Engine:
         are still blocked raises :class:`SimDeadlock` - a clean experiment
         must shut its runtime down so every thread finishes.
         """
+        if self.core_impl == "flat":
+            from .flatcore import flat_run
+
+            return flat_run(self, until, strict)
         ready = self._ready
         timerq = self._timerq
         completions = self._completions
@@ -441,9 +483,9 @@ class Engine:
                                 if not pool_sorted:
                                     raise SimStateError("engine has an empty floating pool")
                             core = pool_sorted[0]
-                            best_load = core._load
+                            best_load = len(core._finish_heap) + core._spinners
                             for c in pool_sorted:
-                                load = c._load
+                                load = len(c._finish_heap) + c._spinners
                                 if load < best_load:
                                     core = c
                                     best_load = load
@@ -462,15 +504,12 @@ class Engine:
                     seq = core._seq + 1
                     core._seq = seq
                     heappush(core._finish_heap, (finish, seq, thread, work))
-                    core._nrun += 1
-                    core._load += 1
                     if not core._completion_dirty:
                         core._completion_dirty = True
                         cidx = core._cidx
                         if cidx is not None:
                             cidx._dirty.append(core._cpos)
                     thread.state = running_state
-                    thread._current_core = core
                 else:
                     self._dispatch_slow(thread, request)
             self.current = None

@@ -1,0 +1,710 @@
+"""Flat structure-of-arrays fast path for the simulation engine.
+
+This module is the ``core_impl="flat"`` main loop behind
+``Engine(core_impl=...)`` / ``$REPRO_CORE_IMPL`` / ``repro run
+--core-impl flat``.  It executes the *same* virtual-time processor-sharing
+model as the per-object reference loop in :mod:`repro.simcore.engine`
+("objects"), bit-for-bit - the differential oracle's ``core_impl`` variant
+(``repro audit diff``) re-runs whole sweeps under both loops and requires
+identical results - but restructures the per-event work:
+
+* **Interned hot state.**  Per-core hot state (current per-thread rate,
+  a per-occupancy rate memo) lives in parallel lists indexed by the
+  core's fixed position - the structure-of-arrays layout - instead of
+  being re-derived through attribute chains per event, and the min
+  pending finish virtual lives in the ``Core._flat_min`` slot where the
+  admission path already holds the core object.  The
+  NumPy column views (:class:`FlatColumns`) sync lazily from this state for
+  batched queries, following the ``CompletionIndex`` mirror idiom: at the
+  3-9 cores of the modelled platforms a bound C ``list`` loop beats ufunc
+  dispatch, so the ndarray mirrors are for *batch* consumers, not the
+  per-event loop (measured: a NumPy scalar index costs ~5x a slotted
+  attribute read on CPython 3.11).
+* **Fused completion drain.**  Completions pop straight into a resume
+  batch and are re-dispatched inline, skipping the ready-deque round trip,
+  the per-event tuple packing, and the RUNNING -> READY -> RUNNING state
+  churn of the reference loop.  Heap entries are mutable lists reused
+  in place across segments of the same thread (zero allocation on the
+  steady-state path), with one engine-global monotone sequence counter
+  preserving the reference loop's exact FIFO tie-break order.
+* **Unordered pending lists, sort-on-drain.**  Mid-run each core's
+  ``_finish_heap`` is an *unordered* list: admissions are plain appends
+  (no heap sift), the head is tracked incrementally in ``_flat_min``, and
+  a drain sorts the list once before consuming due entries - ``sort``
+  yields exactly the ``heappop`` order because ``(finish, seq)`` keys are
+  unique.  When the advance covers the whole list (the common case under
+  pinned homogeneous load) it is consumed in one batch move.  Heap
+  *array* order is not observable through any public API mid-run (only
+  the entry multiset, pop order, and length are), and the epilogue
+  restores sorted tuple-heap order at every exit.
+
+Why bit-identity holds
+----------------------
+
+Float summation order is preserved exactly: ``virtual += dt * rate`` once
+per advance, ``delivered += (dt * rate) * n``, completion instants via the
+one shared formula (:func:`repro.simcore.cores.completion_instant` - the
+per-occupancy rate memo caches *results* of that formula, never reorders
+it), pops in ``(finish, seq)`` order per core with cores in index order,
+and every pop's ``cpu_time`` credit lands before any resumed thread runs,
+exactly as the reference loop's pop-then-drain phases do.
+
+Observability contract (the one deliberate relaxation): *mid-batch*, a
+thread between completion and re-dispatch keeps ``state == RUNNING`` and
+its ``_on_core`` pointer instead of bouncing through ``READY``/``None``.
+Both loops agree again at every timer callback boundary's entry and at
+every instant where user code last observed the thread, except that
+sibling threads resumed in the same batch see each other pre-, not post-,
+pop.  End-of-run state is identical.
+
+``REPRO_JIT`` hook
+------------------
+
+Setting ``REPRO_JIT=1`` requests a Numba-compiled kernel for the batched
+column refresh.  The import is guarded at module load and **fails soft**:
+without ``numba`` installed (the reference container does not ship it) the
+pure-Python/NumPy path runs unchanged and nothing else differs - no test
+may ever require the JIT.
+"""
+
+from __future__ import annotations
+
+import os
+from heapq import heappop, heappush
+from math import inf
+from typing import TYPE_CHECKING, Any, Optional
+
+import numpy as np
+
+from .cores import WORK_EPSILON
+from .engine import _INSTANT_EPSILON
+from .errors import SimDeadlock, SimStateError, SimTimeError
+from .process import Compute, ThreadState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import Engine
+    from .process import SimThread
+
+__all__ = ["flat_run", "FlatColumns", "flat_columns", "JIT_ACTIVE"]
+
+_INF = inf
+
+# --------------------------------------------------------------------- #
+# optional JIT (fail-soft: numba is NOT a dependency)
+# --------------------------------------------------------------------- #
+
+JIT_ACTIVE = False
+if os.environ.get("REPRO_JIT", "").strip().lower() in ("1", "true", "on", "numba"):
+    try:  # pragma: no cover - exercised only where numba is installed
+        from numba import njit as _njit  # type: ignore
+
+        JIT_ACTIVE = True
+    except Exception:  # ImportError or a broken install: fall back silently
+        JIT_ACTIVE = False
+
+
+def _maybe_jit(fn):
+    """Compile *fn* with numba when ``REPRO_JIT`` is armed and numba is
+    importable; otherwise return it unchanged (the pure-Python reference)."""
+    if JIT_ACTIVE:  # pragma: no cover - numba absent from the container
+        try:
+            return _njit(cache=False)(fn)
+        except Exception:
+            return fn
+    return fn
+
+
+@_maybe_jit
+def _batch_instants(head, virtual, occ, spin, speed, alpha, now, out):
+    """Vectorizable form of :func:`repro.simcore.cores.completion_instant`
+    over core columns: same float ops in the same order, elementwise."""
+    for i in range(head.shape[0]):
+        n = occ[i]
+        if n > 0:
+            k = n + spin[i]
+            rate = speed[i] / (k * (1.0 + alpha[i] * (k - 1)))
+            out[i] = now + (head[i] - virtual[i]) / rate
+        else:
+            out[i] = np.inf
+    return out
+
+
+# --------------------------------------------------------------------- #
+# SoA columns: interned handles + lazily-synced NumPy mirrors
+# --------------------------------------------------------------------- #
+
+
+class FlatColumns:
+    """Structure-of-arrays view of an engine's hot thread/core state.
+
+    Cores get fixed column positions (their ``CompletionIndex`` position);
+    threads are interned to integer handles from a free-list, so a
+    long-lived service run recycles slots instead of growing forever.  The
+    columns are *views*: the authoritative per-event state stays on the
+    slotted objects and the per-core operational lists inside
+    :func:`flat_run` (per-element ndarray stores are slower than the whole
+    scalar refresh at platform core counts), and :meth:`sync` pulls a
+    coherent snapshot on demand for batch consumers - audits, telemetry
+    samplers, tests, and the vectorized queries below.
+    """
+
+    __slots__ = (
+        "engine",
+        "core_speed",
+        "core_alpha",
+        "core_virtual",
+        "core_spinners",
+        "core_occupancy",
+        "core_head_finish",
+        "core_instant",
+        "thread_handles",
+        "thread_finish_virtual",
+        "thread_core_slot",
+        "_thread_refs",
+        "_free",
+        "_cap",
+    )
+
+    def __init__(self, engine: "Engine", thread_capacity: int = 64) -> None:
+        self.engine = engine
+        n = len(engine.cores)
+        self.core_speed = np.array([c.speed for c in engine.cores], dtype=np.float64)
+        self.core_alpha = np.array([c.cs_alpha for c in engine.cores], dtype=np.float64)
+        self.core_virtual = np.zeros(n, dtype=np.float64)
+        self.core_spinners = np.zeros(n, dtype=np.int64)
+        self.core_occupancy = np.zeros(n, dtype=np.int64)
+        self.core_head_finish = np.full(n, np.inf, dtype=np.float64)
+        self.core_instant = np.full(n, np.inf, dtype=np.float64)
+        #: thread -> handle; handles index the thread columns below.
+        self.thread_handles: dict["SimThread", int] = {}
+        cap = max(thread_capacity, 1)
+        self.thread_finish_virtual = np.zeros(cap, dtype=np.float64)
+        self.thread_core_slot = np.full(cap, -1, dtype=np.int64)
+        self._thread_refs: list[Optional["SimThread"]] = [None] * cap
+        self._free: list[int] = list(range(cap - 1, -1, -1))
+        self._cap = cap
+
+    # -- handle lifecycle ---------------------------------------------- #
+
+    def intern(self, thread: "SimThread") -> int:
+        """Return *thread*'s stable handle, allocating one on first sight
+        (from the free-list when available, doubling the columns when not)."""
+        handle = self.thread_handles.get(thread)
+        if handle is not None:
+            return handle
+        if not self._free:
+            new_cap = self._cap * 2
+            grown_fv = np.zeros(new_cap, dtype=np.float64)
+            grown_fv[: self._cap] = self.thread_finish_virtual
+            grown_slot = np.full(new_cap, -1, dtype=np.int64)
+            grown_slot[: self._cap] = self.thread_core_slot
+            self.thread_finish_virtual = grown_fv
+            self.thread_core_slot = grown_slot
+            self._thread_refs.extend([None] * self._cap)
+            self._free = list(range(new_cap - 1, self._cap - 1, -1))
+            self._cap = new_cap
+        handle = self._free.pop()
+        self.thread_handles[thread] = handle
+        self._thread_refs[handle] = thread
+        return handle
+
+    def release(self, thread: "SimThread") -> None:
+        """Recycle a finished thread's handle back onto the free-list."""
+        handle = self.thread_handles.pop(thread, None)
+        if handle is not None:
+            self._thread_refs[handle] = None
+            self.thread_core_slot[handle] = -1
+            self._free.append(handle)
+
+    # -- snapshot + batched queries ------------------------------------ #
+
+    def sync(self) -> None:
+        """Pull a coherent snapshot of the live engine state into the
+        columns: interns new threads, releases finished ones, and refreshes
+        every core column in one pass."""
+        engine = self.engine
+        finished = ThreadState.FINISHED
+        for thread in engine.threads:
+            if thread.state is finished:
+                self.release(thread)
+            else:
+                h = self.intern(thread)
+                self.thread_core_slot[h] = -1
+        # Thread placement comes from the heap entries themselves, not
+        # thread attributes: the flat loop elides the per-event
+        # ``_finish_virtual`` store, and mid-run the pending lists are
+        # unordered, so the head is a min-scan rather than ``heap[0]``.
+        for pos, core in enumerate(engine.cores):
+            heap = core._finish_heap
+            self.core_virtual[pos] = core._virtual
+            self.core_spinners[pos] = core._spinners
+            self.core_occupancy[pos] = len(heap)
+            head = np.inf
+            for entry in heap:
+                f = entry[0]
+                if f < head:
+                    head = f
+                h = self.thread_handles.get(entry[2])
+                if h is not None:
+                    self.thread_finish_virtual[h] = f
+                    self.thread_core_slot[h] = pos
+            self.core_head_finish[pos] = head
+
+    def completion_instants(self, now: float) -> np.ndarray:
+        """Absolute completion instants per core (inf = idle): one batched
+        pass over the columns, through the JIT kernel when armed.  Same
+        float ops in the same order as the scalar path, hence bit-equal."""
+        self.sync()
+        return _batch_instants(
+            self.core_head_finish,
+            self.core_virtual,
+            self.core_occupancy,
+            self.core_spinners,
+            self.core_speed,
+            self.core_alpha,
+            now,
+            np.empty_like(self.core_instant),
+        )
+
+    def remaining_work(self) -> np.ndarray:
+        """Dedicated-core seconds left per interned handle (0 for threads
+        with no active segment): ``finish_virtual - core_virtual[slot]``
+        vectorized over the columns."""
+        self.sync()
+        slots = self.thread_core_slot
+        active = slots >= 0
+        out = np.zeros(self._cap, dtype=np.float64)
+        out[active] = self.thread_finish_virtual[active] - self.core_virtual[
+            slots[active]
+        ]
+        return out
+
+
+def flat_columns(engine: "Engine") -> FlatColumns:
+    """The engine's (lazily created) :class:`FlatColumns` view."""
+    cols = getattr(engine, "_flat_columns", None)
+    if cols is None:
+        cols = FlatColumns(engine)
+        engine._flat_columns = cols
+    return cols
+
+
+# --------------------------------------------------------------------- #
+# the fused main loop
+# --------------------------------------------------------------------- #
+
+
+def _slow_compute(self: "Engine", thread, request, seq, dirty, cidx):
+    """Subclassed-``Compute`` dispatch for the flat loop: the semantics of
+    ``Engine._dispatch_slow``'s Compute branch, but appending flat-format
+    (list, global-seq) entries so engine-core pending lists stay
+    homogeneous.  The caller has already cleared ``thread._on_core``.
+    Returns the advanced sequence counter."""
+    work = request.work
+    if work <= 0.0:
+        thread.state = ThreadState.READY
+        self._ready.append((thread, None))
+        return seq
+    core = self._pick_core(thread, request.core)
+    thread.state = ThreadState.RUNNING
+    if thread._on_core is not None:
+        raise SimStateError(
+            f"{thread.name!r} already running on core {thread._on_core.name!r}"
+        )
+    finish = core._virtual + work
+    thread._on_core = core
+    thread._finish_virtual = finish
+    if core._cidx is cidx:
+        seq += 1
+        core._finish_heap.append([finish, seq, thread, work])
+        if finish < core._flat_min:
+            core._flat_min = finish
+        if not core._completion_dirty:
+            core._completion_dirty = True
+            dirty.append(core._cpos)
+    else:
+        # Foreign core (not owned by this engine's completion index): keep
+        # the object representation - the flat loop never pops it.
+        core._seq += 1
+        heappush(core._finish_heap, (finish, core._seq, thread, work))
+        core._mark_completion_dirty()
+    return seq
+
+
+def flat_run(self: "Engine", until: Optional[float] = None, strict: bool = True) -> float:
+    """Run *self* (an :class:`~repro.simcore.engine.Engine`) to completion
+    - the fused flat-core main loop.  Same contract as ``Engine.run``."""
+    ready = self._ready
+    timerq = self._timerq
+    cidx = self._completions
+    comp = cidx._instants_list
+    dirty = cidx._dirty
+    cores = cidx.cores
+    ncores = len(cores)
+    #: per-core SoA state, indexed by completion-index position (the min
+    #: pending finish lives on the core itself as ``_flat_min`` - the add
+    #: path already holds the core object, so an attribute beats a
+    #: position lookup there):
+    rates = [1.0] * ncores          # current per-thread rate (valid when occupied)
+    memo: list[dict[int, float]] = [dict() for _ in range(ncores)]  # k -> rate
+    ready_state = ThreadState.READY
+    running_state = ThreadState.RUNNING
+    blocked_state = ThreadState.BLOCKED
+    Compute_cls = Compute
+    pool_cache: Optional[list] = None
+    pool_sorted: list = []
+    resumes: list = []
+    done_i = -1
+    events = 0
+
+    # ---- prologue: intern heap entries as mutable lists (the flat loop
+    # keeps each pending list *unordered* - the head lives in `minf` and
+    # drains sort on demand, so admissions are plain appends instead of
+    # heap sifts), and seed the global sequence counter past every live
+    # (finish, seq) key so new segments keep sorting after existing
+    # equal-finish ones.
+    seq = 0
+    for pos, core in enumerate(cores):
+        heap = core._finish_heap
+        mn = _INF
+        if heap:
+            if type(heap[0]) is tuple:
+                heap[:] = [list(entry) for entry in heap]
+            for entry in heap:
+                f = entry[0]
+                if f < mn:
+                    mn = f
+                s = entry[1]
+                if s > seq:
+                    seq = s
+        core._flat_min = mn
+        if core._seq > seq:
+            seq = core._seq
+        # Queue every position for the first refresh so `rates`/`comp` get
+        # populated - WITHOUT setting the dirty flag: a clean core's cached
+        # ``_completion_at`` must survive re-entry bit-for-bit (recomputing
+        # the same instant from the advanced ``now``/``_virtual`` lands an
+        # ulp away, which the reference loop's cache never does).
+        dirty.append(pos)
+
+    try:
+        while True:
+            # ---- general dispatch drain: object-loop-identical semantics
+            # for threads arriving through the ready deque (spawns, wakes,
+            # zero-work re-queues, timer wakes).
+            while ready:
+                thread, value = ready.popleft()
+                events += 1
+                self.current = thread
+                try:
+                    request = thread._send(value)
+                except StopIteration as stop:
+                    self._finish(thread, stop.value)
+                    continue
+                if request.__class__ is Compute_cls:
+                    work = request.work
+                    if work <= 0.0:
+                        thread.state = ready_state
+                        ready.append((thread, None))
+                        continue
+                    core = request.core
+                    if core is not None and core._cidx is not cidx:
+                        # Explicit override onto a core this engine's
+                        # completion index does not own: keep the object
+                        # representation.  Affinity and floating-pool cores
+                        # belong to the engine by construction, so only
+                        # overrides pay this check.
+                        if thread._on_core is not None:
+                            raise SimStateError(
+                                f"{thread.name!r} already running on core "
+                                f"{thread._on_core.name!r}"
+                            )
+                        core.add(thread, work)
+                        thread.state = running_state
+                        continue
+                    if core is None:
+                        core = thread.affinity
+                        if core is None:
+                            pool = self.floating_pool
+                            if pool is not pool_cache:
+                                pool_cache = pool
+                                pool_sorted = sorted(pool, key=_core_index)
+                                if not pool_sorted:
+                                    raise SimStateError(
+                                        "engine has an empty floating pool"
+                                    )
+                            core = pool_sorted[0]
+                            best_load = len(core._finish_heap) + core._spinners
+                            for c in pool_sorted:
+                                load = len(c._finish_heap) + c._spinners
+                                if load < best_load:
+                                    core = c
+                                    best_load = load
+                    if thread._on_core is not None:
+                        raise SimStateError(
+                            f"{thread.name!r} already running on core "
+                            f"{thread._on_core.name!r}"
+                        )
+                    finish = core._virtual + work
+                    thread._on_core = core
+                    seq += 1
+                    core._finish_heap.append([finish, seq, thread, work])
+                    if finish < core._flat_min:
+                        core._flat_min = finish
+                    if not core._completion_dirty:
+                        core._completion_dirty = True
+                        dirty.append(core._cpos)
+                    thread.state = running_state
+                elif isinstance(request, Compute_cls):
+                    seq = _slow_compute(self, thread, request, seq, dirty, cidx)
+                else:
+                    self._dispatch_slow(thread, request)
+            self.current = None
+            self._events_processed += events
+            events = 0
+
+            # ---- refresh dirty completion instants (shared-formula float
+            # ops; the memo caches the rate *result* per occupancy k).
+            if dirty:
+                now = self.now
+                for pos in dirty:
+                    core = cores[pos]
+                    heap = core._finish_heap
+                    n = len(heap)
+                    if n:
+                        k = n + core._spinners
+                        core_memo = memo[pos]
+                        rate = core_memo.get(k)
+                        if rate is None:
+                            rate = core.speed / (k * (1.0 + core.cs_alpha * (k - 1)))
+                            core_memo[k] = rate
+                        rates[pos] = rate
+                        if core._completion_dirty:
+                            # _flat_min IS the head finish (the pending list
+                            # is unordered; heap[0] would be wrong here)
+                            at = now + (core._flat_min - core._virtual) / rate
+                            core._completion_at = at
+                            core._completion_dirty = False
+                        else:
+                            # an external completion_at() call already
+                            # refreshed the instant; only the rate mirror
+                            # needed syncing
+                            at = core._completion_at
+                        comp[pos] = at
+                    else:
+                        core._completion_at = None
+                        core._completion_dirty = False
+                        comp[pos] = _INF
+                dirty.clear()
+                cidx._np_stale = True
+
+            # ---- pick the next event instant
+            compute_at = _INF
+            for at in comp:
+                if at < compute_at:
+                    compute_at = at
+            timer_at = self._timer_next
+            if timer_at is None:
+                if compute_at == _INF:
+                    if strict and any(t.state is blocked_state for t in self.threads):
+                        blocked = self.blocked_threads()
+                        names = ", ".join(t.name for t in blocked[:12])
+                        raise SimDeadlock(
+                            f"no events remain but {len(blocked)} thread(s) "
+                            f"are blocked: {names}"
+                        )
+                    return self.now
+                next_at = compute_at
+            elif timer_at <= compute_at:
+                next_at = timer_at
+            else:
+                next_at = compute_at
+            if until is not None and next_at > until:
+                # hand the partial advance to the reference _advance, which
+                # expects heap order: a sorted list is a valid binary heap
+                for core in cores:
+                    core._finish_heap.sort()
+                self._advance(until - self.now)
+                return self.now
+
+            # ---- advance: credit the interval to every occupied core and
+            # collect due completions into the resume batch, in core order.
+            dt = next_at - self.now
+            if dt != 0.0:
+                if dt < 0:
+                    raise SimTimeError(f"attempted to advance time by {dt}")
+                # += dt, NOT = next_at: the reference _advance accumulates
+                # `now + (next_at - now)`, which differs from `next_at` by
+                # an ulp when the subtraction rounds - and bit-identity
+                # means reproducing even that.
+                self.now += dt
+                pos = 0
+                for core in cores:
+                    heap = core._finish_heap
+                    n = len(heap)
+                    if n:
+                        rate = rates[pos]
+                        virtual = core._virtual + dt * rate
+                        core._virtual = virtual
+                        core.delivered += dt * rate * n
+                        core.busy_time += dt
+                        limit = virtual + WORK_EPSILON
+                        if core._flat_min <= limit:
+                            # Due completions: sort the unordered pending
+                            # list - sorted order IS heappop order because
+                            # (finish, seq) keys are unique - and credit
+                            # each pop's cpu_time right here, exactly like
+                            # the reference _advance: every completion's
+                            # exact work lands before timers fire or any
+                            # thread resumes, on exception paths included.
+                            heap.sort()
+                            if heap[-1][0] <= limit:
+                                # whole list due (the common case under
+                                # pinned homogeneous load): one batch move
+                                for entry in heap:
+                                    entry[2].cpu_time += entry[3]
+                                resumes.extend(heap)
+                                heap.clear()
+                                core._flat_min = _INF
+                            else:
+                                i = 1
+                                while heap[i][0] <= limit:
+                                    i += 1
+                                due = heap[:i]
+                                for entry in due:
+                                    entry[2].cpu_time += entry[3]
+                                resumes.extend(due)
+                                del heap[:i]
+                                core._flat_min = heap[0][0]
+                            if not core._completion_dirty:
+                                core._completion_dirty = True
+                                dirty.append(pos)
+                    elif core._spinners:
+                        core.busy_time += dt
+                    pos += 1
+
+            # ---- batched same-instant timer drain (identical to the
+            # object loop: chained same-instant timers join the drain, and
+            # timers fire before any completed thread resumes).
+            deadline = self.now + _INSTANT_EPSILON
+            if timer_at is not None and timer_at <= deadline:
+                fired = 0
+                while True:
+                    batch = timerq.pop_due(deadline)
+                    if not batch:
+                        break
+                    fired += len(batch)
+                    for callback in batch:
+                        callback()
+                self._timer_next = timerq.peek()
+                if fired:
+                    self.timers_fired += fired
+                    self._drain_batches += 1
+                    self._drain_events += fired
+
+            # ---- fused resume drain: completed threads re-dispatch inline.
+            if resumes:
+                for done_i, entry in enumerate(resumes):
+                    thread = entry[2]
+                    self.current = thread
+                    try:
+                        request = thread._send(None)
+                    except StopIteration as stop:
+                        thread._on_core = None
+                        self._finish(thread, stop.value)
+                        continue
+                    if request.__class__ is Compute_cls:
+                        work = request.work
+                        if work > 0.0:
+                            core = request.core
+                            if core is not None and core._cidx is not cidx:
+                                # explicit foreign-core override: object
+                                # representation (the flat loop never pops
+                                # this core)
+                                thread._on_core = None
+                                core.add(thread, work)
+                                thread.state = running_state
+                                continue
+                            if core is None:
+                                core = thread.affinity
+                                if core is None:
+                                    pool = self.floating_pool
+                                    if pool is not pool_cache:
+                                        pool_cache = pool
+                                        pool_sorted = sorted(pool, key=_core_index)
+                                        if not pool_sorted:
+                                            raise SimStateError(
+                                                "engine has an empty floating pool"
+                                            )
+                                    core = pool_sorted[0]
+                                    best_load = (
+                                        len(core._finish_heap) + core._spinners
+                                    )
+                                    for c in pool_sorted:
+                                        load = len(c._finish_heap) + c._spinners
+                                        if load < best_load:
+                                            core = c
+                                            best_load = load
+                            finish = core._virtual + work
+                            if thread._on_core is not core:
+                                thread._on_core = core
+                            seq += 1
+                            # reuse the popped entry in place: zero
+                            # allocation on the steady-state path
+                            entry[0] = finish
+                            entry[1] = seq
+                            entry[3] = work
+                            core._finish_heap.append(entry)
+                            if finish < core._flat_min:
+                                core._flat_min = finish
+                            if not core._completion_dirty:
+                                core._completion_dirty = True
+                                dirty.append(core._cpos)
+                        else:
+                            thread._on_core = None
+                            thread.state = ready_state
+                            ready.append((thread, None))
+                    elif isinstance(request, Compute_cls):
+                        thread._on_core = None
+                        seq = _slow_compute(self, thread, request, seq, dirty, cidx)
+                    else:
+                        thread._on_core = None
+                        self._dispatch_slow(thread, request)
+                self.current = None
+                self._events_processed += len(resumes)
+                resumes.clear()
+                done_i = -1
+    finally:
+        # Restore the object-engine representation invariants at every exit
+        # (normal return, `until` return, or an exception escaping user
+        # code): heap entries back to tuples so a direct Core.add cannot
+        # mix representations, per-core seq counters advanced past the
+        # global counter, and any popped-but-unresumed threads re-queued
+        # exactly as the reference loop would have left them.
+        if resumes:
+            # done_i is the entry whose resume raised (or -1 when the
+            # exception came from a timer callback before the drain began);
+            # everything after it was popped but never resumed.
+            for entry in resumes[done_i + 1 :]:
+                t = entry[2]
+                t._on_core = None
+                t.state = ready_state
+                ready.append((t, None))
+            resumes.clear()
+        for core in cores:
+            heap = core._finish_heap
+            if heap and type(heap[0]) is list:
+                # sort first: the pending list is unordered mid-run, and a
+                # sorted list is a valid binary heap for Core.add/heappop
+                heap.sort()
+                for e in heap:
+                    # the fast-path add elides this per-event store; restore
+                    # it so the object engine sees its own invariant
+                    e[2]._finish_virtual = e[0]
+                heap[:] = [(e[0], e[1], e[2], e[3]) for e in heap]
+            if core._seq < seq:
+                core._seq = seq
+
+
+def _core_index(core) -> int:
+    return core.index

@@ -190,12 +190,22 @@ class CedrTelemetry:
         )
 
         # Pre-touch per-PE children so every PE appears (with zeros) even if
-        # it never executes a task - keeps the export shape run-invariant.
+        # it never executes a task - keeps the export shape run-invariant -
+        # and pre-BIND them: ``record_task`` runs once per completed task,
+        # so the per-event ``labels()`` probe (tuple build + arity check +
+        # family dict lookup) collapses to one plain dict hit here.
         self._pe_names = tuple(pe_names)
+        self._pe_dispatch_by_name: dict[str, Any] = {}
+        self._pe_busy_by_name: dict[str, Any] = {}
+        self._pe_util_by_name: dict[str, Any] = {}
         for name in self._pe_names:
-            self.pe_dispatch.labels(name)
-            self.pe_busy.labels(name)
-            self.pe_util.labels(name)
+            self._pe_dispatch_by_name[name] = self.pe_dispatch.labels(name)
+            self._pe_busy_by_name[name] = self.pe_busy.labels(name)
+            self._pe_util_by_name[name] = self.pe_util.labels(name)
+        #: (api, mode) -> (calls counter, latency histogram), bound on first
+        #: sight: the API name set is workload-defined, so these bind lazily
+        #: but still pay ``labels()`` once per distinct pair, not per call.
+        self._api_children: dict[tuple[str, str], tuple[Any, Any]] = {}
 
     # ------------------------------------------------------------------ #
     # instrumentation entry points
@@ -215,8 +225,15 @@ class CedrTelemetry:
 
     def record_task(self, pe_name: str, service_seconds: float) -> None:
         """Worker-side completion: per-PE dispatch count and busy seconds."""
-        self.pe_dispatch.labels(pe_name).inc()
-        self.pe_busy.labels(pe_name).inc(service_seconds)
+        dispatch = self._pe_dispatch_by_name.get(pe_name)
+        if dispatch is None:
+            # a PE unknown at construction (defensive; normal runs pre-bind
+            # every PE): bind its children once and proceed
+            dispatch = self._pe_dispatch_by_name[pe_name] = self.pe_dispatch.labels(pe_name)
+            self._pe_busy_by_name[pe_name] = self.pe_busy.labels(pe_name)
+            self._pe_util_by_name[pe_name] = self.pe_util.labels(pe_name)
+        dispatch.inc()
+        self._pe_busy_by_name[pe_name].inc(service_seconds)
         self.tasks_completed.inc()
 
     def record_app_completed(self) -> None:
@@ -224,8 +241,15 @@ class CedrTelemetry:
 
     def record_api_call(self, api: str, mode: str, latency_seconds: float) -> None:
         """One libCEDR call settled (mode: ``blocking``/``nonblocking``)."""
-        self.api_calls.labels(api, mode).inc()
-        self.api_latency.labels(api, mode).observe(latency_seconds)
+        pair = self._api_children.get((api, mode))
+        if pair is None:
+            pair = (
+                self.api_calls.labels(api, mode),
+                self.api_latency.labels(api, mode),
+            )
+            self._api_children[(api, mode)] = pair
+        pair[0].inc()
+        pair[1].observe(latency_seconds)
 
     # ------------------------------------------------------------------ #
     # snapshot sampling
@@ -235,8 +259,8 @@ class CedrTelemetry:
         if now <= 0.0:
             return
         for name in self._pe_names:
-            busy = self.pe_busy.labels(name).value
-            self.pe_util.labels(name).set(busy / now)
+            busy = self._pe_busy_by_name[name].value
+            self._pe_util_by_name[name].set(busy / now)
 
     def flat_values(self) -> dict[str, float]:
         """Scalar view of every series, for compact time-series samples.

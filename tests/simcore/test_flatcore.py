@@ -1,0 +1,347 @@
+"""The flat SoA engine core: bit-identity with the reference loop + columns.
+
+The flat loop (``core_impl="flat"``) restructures the per-event work but
+must reproduce the object loop's results *bit-for-bit* - not approximately.
+These tests run the same mixed workloads (pinned/floating compute, timers,
+mutex/condvar traffic, zero-work requeues, devices, spinners, ``until``
+stepping) under both implementations and compare float state by ``.hex()``,
+so a single-ulp drift fails loudly.  ``repro audit diff --variants
+core_impl`` extends the same proof to whole runtime sweeps.
+"""
+
+import random
+
+import pytest
+
+from repro.simcore import (
+    AcquireDevice,
+    Compute,
+    Core,
+    Engine,
+    Mutex,
+    Condition,
+    SimDeadlock,
+    SimStateError,
+    Sleep,
+    ThreadState,
+    UseDevice,
+    Yield,
+)
+from repro.simcore.flatcore import FlatColumns, JIT_ACTIVE, flat_columns
+
+# --------------------------------------------------------------------- #
+# differential harness
+# --------------------------------------------------------------------- #
+
+
+def _mixed_workload(engine):
+    """A workload touching every dispatch path: pinned + floating compute,
+    sleeps, mutex/condvar chains, zero-work requeues, yields, devices."""
+    cores = engine.cores
+    mtx = Mutex(engine)
+    cv = Condition(mtx, signal_latency=1e-6)
+    shared = {"n": 0}
+
+    def worker(i):
+        r = random.Random(1000 + i)
+        for _ in range(30):
+            yield Compute(r.uniform(1e-6, 5e-4))
+            if r.random() < 0.3:
+                yield Sleep(r.uniform(1e-6, 1e-3))
+            if r.random() < 0.2:
+                yield from mtx.acquire()
+                shared["n"] += 1
+                if shared["n"] % 3 == 0:
+                    cv.notify_all()
+                mtx.release()
+            if r.random() < 0.1:
+                yield Compute(0.0)
+            if r.random() < 0.1:
+                yield Yield()
+        yield from mtx.acquire()
+        shared["n"] += 1
+        cv.notify_all()
+        mtx.release()
+        return i
+
+    def waiter():
+        for _ in range(4):
+            yield from mtx.acquire()
+            while shared["n"] < 8:
+                yield from cv.wait()
+            mtx.release()
+            yield Compute(2e-4)
+        return "w"
+
+    threads = []
+    for i in range(10):
+        aff = cores[i % len(cores)] if i % 3 == 0 else None
+        threads.append(engine.spawn(worker(i), name=f"w{i}", affinity=aff))
+    threads.append(engine.spawn(waiter(), name="waiter"))
+
+    dev = engine.add_device("fft")
+
+    def devuser(i):
+        r = random.Random(77 + i)
+        for _ in range(12):
+            yield Compute(r.uniform(1e-6, 1e-4))
+            yield UseDevice(dev, r.uniform(1e-5, 1e-4))
+        yield AcquireDevice(dev)
+        yield Compute(1e-5)
+        dev.release(engine.current)
+        return "d"
+
+    for i in range(2):
+        threads.append(engine.spawn(devuser(i), name=f"d{i}"))
+    return threads
+
+
+def _snapshot(engine, threads):
+    """Exact observable state: floats as hex so a one-ulp drift fails.
+
+    Heaps are compared as *sorted multisets* of ``(finish, name, work)``
+    - array order and the sequence-counter values are implementation
+    details (the flat loop keeps pending lists unordered mid-run and uses
+    one global counter), only entry identity and pop order are observable.
+    """
+    return dict(
+        now=engine.now.hex(),
+        events=engine.events_processed,
+        timers=engine.timers_fired,
+        cpu=[t.cpu_time.hex() for t in threads],
+        states=[t.state.value for t in threads],
+        fin=[
+            (t.name, None if t.finished_at is None else t.finished_at.hex(), t.result)
+            for t in threads
+        ],
+        delivered=[c.delivered.hex() for c in engine.cores],
+        busy=[c.busy_time.hex() for c in engine.cores],
+        virt=[c._virtual.hex() for c in engine.cores],
+        heaps=[
+            sorted((e[0].hex(), e[2].name, e[3].hex()) for e in c._finish_heap)
+            for c in engine.cores
+        ],
+        late=engine.late_timers,
+    )
+
+
+@pytest.mark.parametrize("seed,ncores", [(7, 4), (11, 1), (13, 8)])
+def test_flat_matches_objects_bit_for_bit(seed, ncores):
+    snaps = {}
+    for impl in ("objects", "flat"):
+        eng = Engine(cores=ncores, seed=seed, core_impl=impl)
+        threads = _mixed_workload(eng)
+        eng.run()
+        snaps[impl] = _snapshot(eng, threads)
+    assert snaps["objects"] == snaps["flat"]
+
+
+@pytest.mark.parametrize("step", [7.3e-4, 1.1e-5, 0.013])
+def test_flat_matches_objects_under_until_stepping(step):
+    """run(until=...) hands partial advances to the reference _advance and
+    re-enters the flat loop with live heaps: every intermediate snapshot
+    must agree, not just the final state."""
+    trails = {}
+    for impl in ("objects", "flat"):
+        eng = Engine(cores=3, seed=9, core_impl=impl)
+        threads = _mixed_workload(eng)
+        t, trail = 0.0, []
+        while True:
+            t += step
+            eng.run(until=t)
+            trail.append(_snapshot(eng, threads))
+            if all(not th.alive for th in threads) or t > 10:
+                break
+        trails[impl] = trail
+    assert trails["objects"] == trails["flat"]
+
+
+def test_flat_with_spinners_matches_objects():
+    """Worker spinners dilate the processor-sharing rate; the flat loop's
+    memoized rates must reproduce the contended arithmetic exactly."""
+    snaps = {}
+    for impl in ("objects", "flat"):
+        eng = Engine(cores=2, seed=3, core_impl=impl)
+        eng.cores[0].spinners = 2
+        eng.cores[1].spinners = 1
+
+        def burn(n, amount):
+            for _ in range(n):
+                yield Compute(amount)
+
+        threads = [
+            eng.spawn(burn(40, 3e-5), name=f"t{i}", affinity=eng.cores[i % 2])
+            for i in range(6)
+        ]
+        eng.run()
+        snaps[impl] = _snapshot(eng, threads)
+    assert snaps["objects"] == snaps["flat"]
+
+
+def test_flat_restores_object_representation_between_runs():
+    """set_core_impl may interleave the two loops on one engine: the flat
+    epilogue restores sorted tuple heaps, so a follow-on objects run (and
+    direct Core.add calls) see their own invariants."""
+
+    def burn(n, amount):
+        for _ in range(n):
+            yield Compute(amount)
+
+    eng = Engine(cores=2, seed=5, core_impl="flat")
+    eng.spawn(burn(10, 1e-4), name="a", affinity=eng.cores[0])
+    eng.spawn(burn(10, 1e-4), name="b")
+    eng.run(until=3e-4)
+    for core in eng.cores:
+        for entry in core._finish_heap:
+            assert type(entry) is tuple
+    eng.set_core_impl("objects")
+    eng.spawn(burn(5, 1e-4), name="c")
+    eng.run()
+    assert all(not t.alive for t in eng.threads)
+
+
+def test_flat_deadlock_detection_matches_objects():
+    def blocker(engine, mtx):
+        yield from mtx.acquire()
+        yield Sleep(10.0)
+
+    def victim(mtx):
+        yield Compute(1e-6)
+        yield from mtx.acquire()
+
+    messages = {}
+    for impl in ("objects", "flat"):
+        eng = Engine(cores=1, seed=0, core_impl=impl)
+        mtx = Mutex(eng)
+        eng.spawn(blocker(eng, mtx), name="holder")
+        eng.spawn(victim(mtx), name="victim")
+        with pytest.raises(SimDeadlock) as exc:
+            eng.run()
+        messages[impl] = str(exc.value)
+    assert messages["objects"] == messages["flat"]
+
+
+def test_flat_exception_escape_requeues_unresumed_threads():
+    """A thread body raising mid-resume-batch must leave the engine in the
+    same state the object loop would: the raiser consumed, siblings whose
+    resume never ran back on the ready queue, heaps as tuples."""
+
+    class Boom(RuntimeError):
+        pass
+
+    def bomb():
+        yield Compute(1e-4)
+        raise Boom()
+
+    def burn(n, amount):
+        for _ in range(n):
+            yield Compute(amount)
+
+    states = {}
+    for impl in ("objects", "flat"):
+        eng = Engine(cores=1, seed=1, core_impl=impl)
+        eng.spawn(bomb(), name="bomb", affinity=eng.cores[0])
+        survivors = [
+            eng.spawn(burn(3, 1e-4), name=f"s{i}", affinity=eng.cores[0])
+            for i in range(3)
+        ]
+        with pytest.raises(Boom):
+            eng.run()
+        states[impl] = (
+            eng.now.hex(),
+            [t.state.value for t in survivors],
+            [t.cpu_time.hex() for t in survivors],
+            [type(e).__name__ for e in eng.cores[0]._finish_heap],
+        )
+    assert states["objects"] == states["flat"]
+
+
+# --------------------------------------------------------------------- #
+# engine mode selection
+# --------------------------------------------------------------------- #
+
+
+def test_core_impl_selection_and_env_default(monkeypatch):
+    assert Engine(cores=1).core_impl == "objects"
+    assert Engine(cores=1, core_impl="flat").core_impl == "flat"
+    monkeypatch.setenv("REPRO_CORE_IMPL", "flat")
+    assert Engine(cores=1).core_impl == "flat"
+    monkeypatch.delenv("REPRO_CORE_IMPL")
+    with pytest.raises(SimStateError):
+        Engine(cores=1, core_impl="simd")
+    with pytest.raises(SimStateError):
+        Engine(cores=1).set_core_impl("simd")
+
+
+# --------------------------------------------------------------------- #
+# FlatColumns
+# --------------------------------------------------------------------- #
+
+
+def test_flat_columns_intern_recycles_handles():
+    eng = Engine(cores=2)
+    cols = FlatColumns(eng, thread_capacity=2)
+
+    def burn(amount):
+        yield Compute(amount)
+
+    a = eng.spawn(burn(1e-4), name="a")
+    b = eng.spawn(burn(1e-4), name="b")
+    ha, hb = cols.intern(a), cols.intern(b)
+    assert ha != hb
+    assert cols.intern(a) == ha  # stable
+    c = eng.spawn(burn(1e-4), name="c")
+    hc = cols.intern(c)  # forces a doubling grow
+    assert cols._cap == 4
+    cols.release(a)
+    d = eng.spawn(burn(1e-4), name="d")
+    assert cols.intern(d) == ha  # freed handle recycled
+    assert cols.thread_core_slot[hc] == -1
+
+
+def test_flat_columns_sync_and_batch_queries():
+    eng = Engine(cores=2, core_impl="flat")
+
+    def burn(n, amount):
+        for _ in range(n):
+            yield Compute(amount)
+
+    threads = [
+        eng.spawn(burn(4, 1e-3), name=f"t{i}", affinity=eng.cores[i % 2])
+        for i in range(4)
+    ]
+    eng.run(until=2.5e-3)
+    cols = flat_columns(eng)
+    assert cols is flat_columns(eng)  # cached on the engine
+    instants = cols.completion_instants(eng.now)
+    # one batched pass must equal the scalar per-core formula bit-for-bit
+    for pos, core in enumerate(eng.cores):
+        scalar = core.completion_at(eng.now)
+        if scalar is None:
+            assert instants[pos] == float("inf")
+        else:
+            assert instants[pos] == scalar
+    remaining = cols.remaining_work()
+    for t in threads:
+        h = cols.thread_handles[t]
+        if t._on_core is not None:
+            assert remaining[h] > 0.0
+    # finished threads are released on the next sync
+    eng.run()
+    cols.sync()
+    assert not cols.thread_handles
+
+
+def test_jit_hook_is_fail_soft():
+    """numba is not installed in the reference container: the flag must
+    stay off and the pure-Python kernel must serve the batched queries."""
+    assert JIT_ACTIVE is False
+    eng = Engine(cores=1, core_impl="flat")
+
+    def burn(amount):
+        yield Compute(amount)
+
+    eng.spawn(burn(1e-3), name="t")
+    eng.run(until=5e-4)
+    instants = flat_columns(eng).completion_instants(eng.now)
+    assert instants[0] == eng.cores[0].completion_at(eng.now)

@@ -233,3 +233,41 @@ def test_wheel_matches_heap_reference_pop_order(ops):
     assert final == model.pop_due(float("inf"))
     assert wheel.peek() is None and model.peek() is None
     assert len(wheel) == 0
+
+
+def test_wheel_rotation_exactly_at_default_horizon_boundary():
+    """The 512 x 10 us production geometry, probed right at the page edge:
+    a push at ``base + span`` exactly must spill (the horizon is
+    half-open), and draining exactly to the boundary rotates the base to
+    the next page with the edge entry firing from bucket 0."""
+    span = DEFAULT_BUCKET_S * DEFAULT_N_BUCKETS
+    wheel = TimerWheel(now=0.0)
+    wheel.push(span - DEFAULT_BUCKET_S, 0, _cb("last-in-horizon"))
+    wheel.push(span, 1, _cb("edge"))                    # == horizon: overflow
+    wheel.push(span + DEFAULT_BUCKET_S, 2, _cb("beyond"))
+    wheel.push(3 * span, 3, _cb("pages-later"))
+    assert wheel.spills == 3
+    assert fired(wheel, span - DEFAULT_BUCKET_S) == ["last-in-horizon"]
+    assert fired(wheel, span) == ["edge"]
+    assert wheel._base == span                          # rotated one full page
+    assert fired(wheel, span + DEFAULT_BUCKET_S) == ["beyond"]
+    assert fired(wheel, 3 * span) == ["pages-later"]    # multi-page jump
+    assert wheel.peek() is None and len(wheel) == 0
+
+
+def test_wheel_lazy_cancel_after_overflow_migration():
+    """A cancel handle must stay valid across rotation: the entry object
+    migrates from the overflow heap into a bucket unchanged, so blanking
+    its callback slot afterwards still suppresses the fire."""
+    wheel = TimerWheel(now=0.0, bucket_s=1e-3, n_buckets=4)  # 4 ms horizon
+    wheel.push(5e-3, 0, _cb("first"))
+    doomed = wheel.push(7e-3, 1, _cb("doomed"))
+    assert wheel.spills == 2
+    # draining to the first entry rotates; BOTH entries migrate to buckets
+    assert fired(wheel, 5e-3) == ["first"]
+    assert wheel._in_buckets == 1
+    assert wheel.cancel(doomed) is True     # handle survived the migration
+    assert wheel.cancel(doomed) is False    # and cancellation is idempotent
+    assert fired(wheel, 1.0) == []          # lazy discard, nothing fires
+    assert wheel.peek() is None
+    assert len(wheel) == 0

@@ -120,3 +120,33 @@ def test_fault_layer_bridges_into_registry(zcu_small):
     assert failures == result.task_failures
     (retries,) = metrics["cedr_task_retries_total"]["series"]
     assert retries["value"] == result.retries
+
+
+def test_labels_lookups_are_o1_per_run(zcu_small, monkeypatch):
+    """Hot paths pre-bind their label children: the number of
+    ``MetricFamily.labels()`` probes in a run is a function of the catalog
+    (PE names at construction, distinct (api, mode) pairs on first sight),
+    not of how many tasks or libCEDR calls the run processes."""
+    from repro.telemetry import registry as registry_mod
+
+    counter = {"n": 0}
+    real = registry_mod.MetricFamily.labels
+
+    def counted(self, *values):
+        counter["n"] += 1
+        return real(self, *values)
+
+    monkeypatch.setattr(registry_mod.MetricFamily, "labels", counted)
+    small = WorkloadSpec("pd1", (WorkloadEntry(PulseDoppler(batch=8), 1),))
+    big = WorkloadSpec("pd4", (WorkloadEntry(PulseDoppler(batch=8), 4),))
+
+    counter["n"] = 0
+    r_small = run_metered(zcu_small, workload=small)
+    n_small = counter["n"]
+    counter["n"] = 0
+    r_big = run_metered(zcu_small, workload=big)
+    n_big = counter["n"]
+
+    assert r_big.tasks_completed > r_small.tasks_completed
+    assert n_small > 0  # construction still binds through labels()
+    assert n_big == n_small
