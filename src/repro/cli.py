@@ -360,6 +360,85 @@ def build_parser() -> argparse.ArgumentParser:
                           help="spec files or directories to scan "
                                "(default: examples/scenarios)")
 
+    corpus = sub.add_parser(
+        "corpus",
+        help="adversarial scenario corpus: generate, parity-run, report, "
+             "minimize",
+        description="A seeded generator emits random-but-valid scenario "
+                    "documents (app mixes, PE pools, arrival processes, "
+                    "fault storms); 'run' executes every registered "
+                    "scheduler over every spec with the online auditor "
+                    "armed and reports dominance/violation tables; failing "
+                    "cells are shrunk by a delta-debugging minimizer into "
+                    "counterexample artifacts.",
+    )
+    cor_sub = corpus.add_subparsers(dest="corpus_command", required=True)
+
+    def _add_generate_options(p) -> None:
+        p.add_argument("--n", type=int, default=None,
+                       help="corpus size (default: $REPRO_CORPUS_N or 8)")
+        p.add_argument("--seed", type=int, default=0,
+                       help="corpus seed - with the config, the whole "
+                            "identity of the corpus")
+        p.add_argument("--kind", choices=("mixed", "run", "serve"),
+                       default="mixed",
+                       help="restrict generated spec kinds (default mixed)")
+        p.add_argument("--platforms", default=None,
+                       help="comma-separated platform subset "
+                            "(default: all registered)")
+
+    cor_gen = cor_sub.add_parser(
+        "generate", help="emit corpus spec documents (JSON)")
+    _add_generate_options(cor_gen)
+    cor_gen.add_argument("--out", default=None,
+                         help="directory for one .json document per spec "
+                              "(default: print digests only)")
+
+    cor_run = cor_sub.add_parser(
+        "run", help="run every scheduler over a corpus, auditor armed")
+    _add_generate_options(cor_run)
+    cor_run.add_argument("--specs", default=None,
+                         help="directory (or file) of scenario documents to "
+                              "use instead of generating")
+    cor_run.add_argument("--schedulers", default=None,
+                         help="comma-separated scheduler subset "
+                              "(default: all registered)")
+    cor_run.add_argument("--jobs", type=int, default=None,
+                         help="worker processes, one corpus cell each "
+                              "(-1 = all cores; default: $REPRO_JOBS or "
+                              "serial)")
+    cor_run.add_argument("--report", default="corpus-report.json",
+                         help="machine-readable report path")
+    cor_run.add_argument("--artifacts", default="corpus-artifacts",
+                         help="directory for minimized counterexamples")
+    cor_run.add_argument("--anomaly-factor", type=float, default=5.0,
+                         help="flag a scheduler doing this many times worse "
+                              "than the cell's best (default 5)")
+    cor_run.add_argument("--no-minimize", action="store_true",
+                         help="skip counterexample minimization of failing "
+                              "cells")
+    cor_run.add_argument("--minimize-budget", type=int, default=120,
+                         help="max probes per minimized counterexample")
+
+    cor_rep = cor_sub.add_parser(
+        "report", help="summarize a saved corpus report")
+    cor_rep.add_argument("report", help="path to a corpus-report.json")
+    cor_rep.add_argument("--json", action="store_true",
+                         help="re-emit the normalized JSON instead of the "
+                              "summary table")
+
+    cor_min = cor_sub.add_parser(
+        "minimize", help="shrink one failing spec to a counterexample")
+    cor_min.add_argument("spec", help="path to a .toml/.json scenario "
+                                      "document that fails under audit")
+    cor_min.add_argument("--scheduler", default=None,
+                         help="scheduler to fail under (default: the "
+                              "spec's own)")
+    cor_min.add_argument("--artifacts", default="corpus-artifacts",
+                         help="directory for the minimized counterexample")
+    cor_min.add_argument("--budget", type=int, default=200,
+                         help="max probes (default 200)")
+
     fig = sub.add_parser("figure", help="regenerate one evaluation figure")
     fig.add_argument("id", choices=available_figures())
     fig.add_argument("--rates", type=int, default=6, help="injection-rate grid points")
@@ -935,6 +1014,184 @@ def _cmd_scenario(args) -> int:
     )  # pragma: no cover
 
 
+CORPUS_N_ENV = "REPRO_CORPUS_N"
+
+
+def _corpus_config(args):
+    """Translate the shared generate options into a CorpusConfig."""
+    import os
+
+    from repro.corpus import CorpusConfig
+
+    if args.n is not None:
+        n = args.n
+    else:
+        raw = os.environ.get(CORPUS_N_ENV, "").strip()
+        try:
+            n = int(raw) if raw else 8
+        except ValueError:
+            raise SystemExit(
+                f"{CORPUS_N_ENV} must be an integer corpus size, got {raw!r}"
+            ) from None
+    platforms = tuple(
+        p.strip() for p in (args.platforms or "").split(",") if p.strip()
+    )
+    run_fraction = {"mixed": 0.7, "run": 1.0, "serve": 0.0}[args.kind]
+    try:
+        return CorpusConfig(n=n, run_fraction=run_fraction, platforms=platforms)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+
+
+def _corpus_generate(args):
+    from repro.corpus import generate_corpus
+
+    config = _corpus_config(args)
+    try:
+        return generate_corpus(config, seed=args.seed)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+
+
+def _cmd_corpus_generate(args) -> int:
+    from pathlib import Path
+
+    specs = _corpus_generate(args)
+    out_dir = Path(args.out) if args.out else None
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+    for spec in specs:
+        line = f"{spec.digest()[:12]}  {spec.describe()}"
+        if out_dir is not None:
+            path = spec.save(out_dir / f"{spec.name}.json")
+            line += f"  -> {path}"
+        print(line)
+    return 0
+
+
+def _corpus_load_specs(path_arg: str):
+    from pathlib import Path
+
+    from repro.scenario import ScenarioError, load_scenario
+
+    path = Path(path_arg)
+    if path.is_dir():
+        paths = sorted(
+            p for p in path.iterdir() if p.suffix.lower() in (".toml", ".json")
+        )
+    else:
+        paths = [path]
+    if not paths:
+        raise SystemExit(f"no scenario documents under {path}")
+    specs = []
+    for p in paths:
+        try:
+            specs.append(load_scenario(p))
+        except ScenarioError as exc:
+            raise SystemExit(str(exc)) from None
+    return specs
+
+
+def _cmd_corpus_run(args) -> int:
+    from repro.corpus import minimize_spec, run_corpus, write_artifacts
+
+    if args.specs is not None:
+        specs = _corpus_load_specs(args.specs)
+        seed = None
+    else:
+        specs = _corpus_generate(args)
+        seed = args.seed
+    schedulers = None
+    if args.schedulers:
+        schedulers = [s.strip() for s in args.schedulers.split(",") if s.strip()]
+    try:
+        report = run_corpus(
+            specs,
+            schedulers,
+            n_jobs=args.jobs,
+            anomaly_factor=args.anomaly_factor,
+            seed=seed,
+        )
+    except ValueError as exc:  # unknown scheduler, bad job count
+        raise SystemExit(str(exc)) from None
+    path = report.save(args.report)
+    print(report.summary())
+    print(f"\nreport    : {path}")
+    failures = report.failures()
+    if failures and not args.no_minimize:
+        by_spec = {spec.digest(): spec for spec in specs}
+        minimized = set()
+        for cell in failures:
+            key = (cell.digest, cell.scheduler)
+            if key in minimized:
+                continue
+            minimized.add(key)
+            result = minimize_spec(
+                by_spec[cell.digest],
+                scheduler=cell.scheduler,
+                budget=args.minimize_budget,
+            )
+            cell_dir = write_artifacts(result, args.artifacts)
+            print(
+                f"minimized : {cell.name} x {cell.scheduler} "
+                f"[{result.status} {result.code}] -> {cell_dir}"
+            )
+    return 1 if failures else 0
+
+
+def _cmd_corpus_report(args) -> int:
+    from repro.corpus import CorpusReport
+
+    try:
+        report = CorpusReport.load(args.report)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(str(exc)) from None
+    if args.json:
+        print(report.to_json(), end="")
+    else:
+        print(report.summary())
+    return 0 if report.ok else 1
+
+
+def _cmd_corpus_minimize(args) -> int:
+    from repro.corpus import minimize_spec, write_artifacts
+    from repro.scenario import ScenarioError, load_scenario
+
+    try:
+        spec = load_scenario(args.spec)
+    except ScenarioError as exc:
+        raise SystemExit(str(exc)) from None
+    try:
+        result = minimize_spec(
+            spec, scheduler=args.scheduler, budget=args.budget
+        )
+    except ValueError as exc:  # spec does not fail
+        raise SystemExit(str(exc)) from None
+    cell_dir = write_artifacts(result, args.artifacts)
+    print(f"failure   : {result.status} {result.code}")
+    print(f"shrunk    : {len(result.steps)} step(s), "
+          f"{result.evaluations} probe(s)")
+    for step in result.steps:
+        print(f"  - {step}")
+    print(f"artifacts : {cell_dir}")
+    print(f"reproduce : python -m repro scenario run {cell_dir / 'minimized.json'}")
+    return 0
+
+
+def _cmd_corpus(args) -> int:
+    if args.corpus_command == "generate":
+        return _cmd_corpus_generate(args)
+    if args.corpus_command == "run":
+        return _cmd_corpus_run(args)
+    if args.corpus_command == "report":
+        return _cmd_corpus_report(args)
+    if args.corpus_command == "minimize":
+        return _cmd_corpus_minimize(args)
+    raise AssertionError(
+        f"unhandled corpus command {args.corpus_command!r}"
+    )  # pragma: no cover
+
+
 def _resolve_figure_cache(args):
     """Translate the figure cache flags into a SweepCache / False / None."""
     from repro.experiments import SweepCache, resolve_cache
@@ -995,6 +1252,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_audit(args)
     if args.command == "scenario":
         return _cmd_scenario(args)
+    if args.command == "corpus":
+        return _cmd_corpus(args)
     if args.command == "figure":
         return _cmd_figure(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

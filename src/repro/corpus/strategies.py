@@ -1,0 +1,51 @@
+"""Hypothesis strategies over the corpus generator.
+
+One generator, two consumers: the corpus CLI draws specs through
+:func:`generate_spec` with numpy streams (digests independent of the
+hypothesis version), and property tests draw the *inputs* to the same
+function here - so everything hypothesis shrinks or explores is, by
+construction, a spec the corpus could emit.
+
+This module imports :mod:`hypothesis` at import time; it is a dev-only
+dependency, so runtime code must not import this module (the corpus
+package ``__init__`` deliberately does not).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import hypothesis.strategies as st
+
+from repro.scenario import ScenarioSpec
+
+from .generator import CorpusConfig, generate_spec
+
+__all__ = ["corpus_configs", "scenario_specs"]
+
+
+def corpus_configs() -> st.SearchStrategy[CorpusConfig]:
+    """Small config variations: enough to cover both kinds and all axes."""
+    return st.builds(
+        CorpusConfig,
+        run_fraction=st.sampled_from((0.0, 0.3, 0.7, 1.0)),
+        fault_fraction=st.sampled_from((0.0, 0.5, 1.0)),
+        failstop_fraction=st.sampled_from((0.0, 0.5)),
+        max_entries=st.integers(min_value=1, max_value=3),
+        max_count=st.integers(min_value=1, max_value=3),
+        max_tenants=st.integers(min_value=1, max_value=3),
+        trials=st.integers(min_value=1, max_value=2),
+    )
+
+
+def scenario_specs(
+    config: Optional[CorpusConfig] = None,
+) -> st.SearchStrategy[ScenarioSpec]:
+    """Specs the corpus generator can emit, as a hypothesis strategy."""
+    cfgs = st.just(config) if config is not None else corpus_configs()
+    return st.builds(
+        generate_spec,
+        cfgs,
+        st.integers(min_value=0, max_value=2**16),
+        st.integers(min_value=0, max_value=63),
+    )

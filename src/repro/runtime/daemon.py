@@ -738,6 +738,18 @@ class CedrRuntime:
         ):
             return  # completed, failed, or re-dispatched in time: benign
         yield self._charge(self.config.costs.queue_pop_us)
+        if task.dispatch_epoch != epoch or task.state not in (
+            TaskState.SCHEDULED,
+            TaskState.RUNNING,
+        ):
+            # The charge above is simulated time: the worker can complete
+            # (or fail) the very dispatch this deadline suspects while the
+            # daemon pays the queue-pop cost.  Recovering anyway would arm
+            # a retry for a settled task and complete it twice once the
+            # dispatch loop re-stamps its state.  Found by corpus spec
+            # c0266248427d (rr + transient faults); _handle_task_failed is
+            # immune because it charges before its guard.
+            return
         pe = task.pe
         # invalidate the in-flight/queued dispatch: the worker holding the
         # stale epoch discards silently, and this side reclaims the backlog

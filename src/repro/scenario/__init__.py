@@ -15,6 +15,7 @@ from .spec import (
     ScenarioError,
     ScenarioSpec,
     ServeSection,
+    dump_toml,
     load_scenario,
 )
 
@@ -23,6 +24,7 @@ __all__ = [
     "ScenarioError",
     "ScenarioSpec",
     "ServeSection",
+    "dump_toml",
     "load_scenario",
     "run_scenario",
 ]

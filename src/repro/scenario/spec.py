@@ -70,6 +70,7 @@ import dataclasses
 import difflib
 import hashlib
 import json
+import math
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Mapping, Optional, Union
@@ -94,6 +95,7 @@ __all__ = [
     "ScenarioError",
     "ScenarioSpec",
     "ServeSection",
+    "dump_toml",
     "load_scenario",
 ]
 
@@ -116,6 +118,73 @@ def _unknown_keys(given, allowed, where: str) -> None:
         f"{where}: unknown key(s) {', '.join(hints)}; "
         f"allowed: {', '.join(sorted(allowed))}"
     )
+
+
+def _toml_scalar(value: Any, where: str) -> str:
+    """Render one scalar as TOML.  Floats use ``repr`` - exact round-trip."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            raise ScenarioError(f"{where}: non-finite float {value!r}")
+        return repr(value)
+    if isinstance(value, str):
+        # JSON string escaping is a subset of TOML basic-string syntax
+        return json.dumps(value)
+    raise ScenarioError(f"{where}: cannot render {type(value).__name__} as TOML")
+
+
+def dump_toml(doc: Mapping[str, Any]) -> str:
+    """Serialize a canonical scenario document as TOML.
+
+    Understands exactly the shapes :meth:`ScenarioSpec.canonical` emits:
+    tables of scalars, nested tables, scalar lists (fault kinds), and
+    lists of scalar tables (app streams, rendered as arrays of tables).
+    ``None`` values are skipped - TOML has no null; an absent key parses
+    back to the same default, keeping dump -> parse bit-identical.
+    """
+    lines: list[str] = []
+
+    def is_scalar_list(value: Any) -> bool:
+        return isinstance(value, (list, tuple)) and not any(
+            isinstance(item, Mapping) for item in value
+        )
+
+    def emit_table(path: str, table: Mapping[str, Any], *, array: bool = False) -> None:
+        if path:
+            if lines:
+                lines.append("")
+            lines.append(f"[[{path}]]" if array else f"[{path}]")
+        nested: list[tuple[str, Any]] = []
+        for key, value in table.items():
+            where = f"{path or '<root>'}.{key}"
+            if value is None:
+                continue
+            if isinstance(value, Mapping):
+                nested.append((key, value))
+            elif is_scalar_list(value):
+                items = ", ".join(_toml_scalar(v, where) for v in value)
+                lines.append(f"{key} = [{items}]")
+            elif isinstance(value, (list, tuple)):
+                nested.append((key, value))
+            else:
+                lines.append(f"{key} = {_toml_scalar(value, where)}")
+        for key, value in nested:
+            sub = f"{path}.{key}" if path else key
+            if isinstance(value, Mapping):
+                emit_table(sub, value)
+            else:
+                for item in value:
+                    if not isinstance(item, Mapping):
+                        raise ScenarioError(
+                            f"{sub}: mixed scalar/table list is not TOML-able"
+                        )
+                    emit_table(sub, item, array=True)
+
+    emit_table("", doc)
+    return "\n".join(lines) + "\n"
 
 
 def _params_tuple(value, where: str) -> tuple[tuple[str, Any], ...]:
@@ -371,22 +440,28 @@ class ScenarioSpec:
         run = section("run")
         faults = section("faults")
         srv = section("serve")
-        if kind == "serve":
-            for label, body in (("workload", wl), ("run", run), ("faults", faults)):
-                if body:
-                    raise ScenarioError(
-                        f"{source}: [{label}] is a run-kind section; "
-                        f"this scenario is kind = 'serve'"
-                    )
-            fields["serve"] = cls._parse_serve(srv, source, fields)
-        else:
-            if srv:
-                raise ScenarioError(
-                    f"{source}: [serve] is a serve-kind section; "
-                    f"this scenario is kind = 'run'"
-                )
-            cls._parse_run(wl, run, faults, source, fields)
+        # registry lookups inside section parsing (app names, fault kinds,
+        # arrival specs) raise RegistryError/ValueError - surface every one
+        # as a ScenarioError so ``repro scenario validate`` reports it
+        # instead of crashing with a traceback
         try:
+            if kind == "serve":
+                for label, body in (
+                    ("workload", wl), ("run", run), ("faults", faults)
+                ):
+                    if body:
+                        raise ScenarioError(
+                            f"{source}: [{label}] is a run-kind section; "
+                            f"this scenario is kind = 'serve'"
+                        )
+                fields["serve"] = cls._parse_serve(srv, source, fields)
+            else:
+                if srv:
+                    raise ScenarioError(
+                        f"{source}: [serve] is a serve-kind section; "
+                        f"this scenario is kind = 'run'"
+                    )
+                cls._parse_run(wl, run, faults, source, fields)
             return cls(**fields)
         except ValueError as exc:
             if isinstance(exc, ScenarioError):
@@ -544,6 +619,37 @@ class ScenarioSpec:
         """Content address of the canonical form (sha256 hex)."""
         blob = json.dumps(self.canonical(), sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    # ------------------------------------------------------------------ #
+    # serialization: canonical form back out as a document
+    # ------------------------------------------------------------------ #
+
+    def to_json(self, *, indent: Optional[int] = 2) -> str:
+        """The canonical form as a JSON document (parses back bit-identically)."""
+        return json.dumps(self.canonical(), indent=indent, sort_keys=True) + "\n"
+
+    def to_toml(self) -> str:
+        """The canonical form as a TOML document (parses back bit-identically).
+
+        ``None`` values (e.g. an unset fault seed) are omitted - TOML has
+        no null - and parse back to the same ``None`` default.
+        """
+        return dump_toml(self.canonical())
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the canonical form to ``path`` (.toml or .json by suffix)."""
+        path = Path(path)
+        suffix = path.suffix.lower()
+        if suffix == ".toml":
+            text = self.to_toml()
+        elif suffix == ".json":
+            text = self.to_json()
+        else:
+            raise ScenarioError(
+                f"{path}: unknown scenario format {suffix!r} (use .toml or .json)"
+            )
+        path.write_text(text, encoding="utf-8")
+        return path
 
     # ------------------------------------------------------------------ #
     # builders: the same objects the flag-driven CLI constructs

@@ -1,0 +1,64 @@
+"""Golden pin of `repro list` and the sorted-enumeration contract.
+
+The listing is the public surface third-party plugin authors see first;
+pinning it byte-for-byte means a stray registration, a renamed axis, or
+an unsorted enumeration shows up as a diff here instead of flaking CI
+somewhere downstream.  Regenerate deliberately with:
+
+    PYTHONPATH=src python -m repro list > tests/core/golden/repro_list.txt
+"""
+
+from pathlib import Path
+
+from repro.apps import APPS
+from repro.cli import main
+from repro.experiments import FIGURES
+from repro.faults import FAULT_KINDS
+from repro.platforms import PLATFORMS
+from repro.sched import SCHEDULERS
+from repro.serve.arrival import ARRIVALS
+from repro.workload import WORKLOADS
+
+GOLDEN = Path(__file__).with_name("golden") / "repro_list.txt"
+
+ALL_REGISTRIES = (
+    APPS, ARRIVALS, FAULT_KINDS, FIGURES, PLATFORMS, SCHEDULERS, WORKLOADS,
+)
+
+
+def test_list_output_matches_golden(capsys):
+    assert main(["list"]) == 0
+    assert capsys.readouterr().out == GOLDEN.read_text()
+
+
+def test_list_is_deterministic(capsys):
+    main(["list"])
+    first = capsys.readouterr().out
+    main(["list"])
+    assert capsys.readouterr().out == first
+
+
+def test_every_axis_enumerates_sorted():
+    for registry in ALL_REGISTRIES:
+        names = registry.names()
+        assert names == tuple(sorted(names)), registry.kind
+
+
+def test_registration_order_cannot_reorder_listing(capsys):
+    """A plugin registered 'out of order' still lists alphabetically."""
+    SCHEDULERS.register("aaa-first", object)
+    SCHEDULERS.register("zzz-last", object)
+    try:
+        names = SCHEDULERS.names()
+        assert names == tuple(sorted(names))
+        assert names.index("aaa-first") == 0
+        assert names[-1] == "zzz-last"
+        main(["list"])
+        line = next(
+            ln for ln in capsys.readouterr().out.splitlines()
+            if ln.startswith("schedulers")
+        )
+        assert line.index("aaa-first") < line.index("zzz-last")
+    finally:
+        SCHEDULERS.unregister("aaa-first")
+        SCHEDULERS.unregister("zzz-last")

@@ -1,0 +1,123 @@
+"""The `repro corpus` CLI verbs, in-process through cli.main."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.scenario import load_scenario
+
+
+def test_generate_writes_valid_documents(tmp_path, capsys):
+    out = tmp_path / "specs"
+    rc = main([
+        "corpus", "generate", "--n", "3", "--seed", "0",
+        "--platforms", "zcu102", "--out", str(out),
+    ])
+    assert rc == 0
+    files = sorted(out.glob("*.json"))
+    assert len(files) == 3
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert len(lines) == 3
+    for path, line in zip(files, lines):
+        spec = load_scenario(path)  # validates
+        assert line.startswith(spec.digest()[:12])
+
+
+def test_generate_kind_filter(tmp_path):
+    out = tmp_path / "specs"
+    assert main([
+        "corpus", "generate", "--n", "3", "--kind", "serve", "--out", str(out),
+    ]) == 0
+    assert all(
+        load_scenario(p).kind == "serve" for p in out.glob("*.json")
+    )
+
+
+def test_generate_env_scales_n(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CORPUS_N", "2")
+    out = tmp_path / "specs"
+    assert main(["corpus", "generate", "--out", str(out)]) == 0
+    assert len(list(out.glob("*.json"))) == 2
+
+
+def test_run_and_report(tmp_path, capsys):
+    specs = tmp_path / "specs"
+    report = tmp_path / "report.json"
+    assert main([
+        "corpus", "generate", "--n", "2", "--kind", "run",
+        "--platforms", "zcu102", "--out", str(specs),
+    ]) == 0
+    rc = main([
+        "corpus", "run", "--specs", str(specs), "--schedulers", "rr,etf",
+        "--report", str(report), "--artifacts", str(tmp_path / "artifacts"),
+    ])
+    assert rc == 0
+    doc = json.loads(report.read_text())
+    assert doc["schema"] == "repro.corpus/1"
+    assert doc["schedulers"] == ["rr", "etf"]
+    capsys.readouterr()
+    assert main(["corpus", "report", str(report)]) == 0
+    out = capsys.readouterr().out
+    assert "invariant violations: none" in out
+    assert main(["corpus", "report", str(report), "--json"]) == 0
+    assert json.loads(capsys.readouterr().out)["schema"] == "repro.corpus/1"
+
+
+def test_run_minimizes_violations(tmp_path, capsys, evil_scheduler):
+    specs = tmp_path / "specs"
+    artifacts = tmp_path / "artifacts"
+    assert main([
+        "corpus", "generate", "--n", "1", "--kind", "run",
+        "--platforms", "zcu102", "--out", str(specs),
+    ]) == 0
+    rc = main([
+        "corpus", "run", "--specs", str(specs),
+        "--schedulers", f"rr,{evil_scheduler}",
+        "--report", str(tmp_path / "report.json"),
+        "--artifacts", str(artifacts),
+    ])
+    assert rc == 1  # violations fail the run
+    out = capsys.readouterr().out
+    assert "queue-accounting" in out
+    cell_dirs = [p for p in artifacts.iterdir() if p.is_dir()]
+    assert len(cell_dirs) == 1
+    assert (cell_dirs[0] / "minimized.json").exists()
+    assert (cell_dirs[0] / "repro.txt").exists()
+
+
+def test_minimize_verb(tmp_path, capsys, evil_scheduler):
+    specs = tmp_path / "specs"
+    assert main([
+        "corpus", "generate", "--n", "1", "--kind", "run",
+        "--platforms", "zcu102", "--out", str(specs),
+    ]) == 0
+    spec_path = next(specs.glob("*.json"))
+    rc = main([
+        "corpus", "minimize", str(spec_path),
+        "--scheduler", evil_scheduler,
+        "--artifacts", str(tmp_path / "artifacts"),
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "queue-accounting" in out
+    assert "repro scenario run" in out
+
+
+def test_minimize_healthy_spec_exits_nonzero(tmp_path):
+    specs = tmp_path / "specs"
+    assert main([
+        "corpus", "generate", "--n", "1", "--kind", "run",
+        "--platforms", "zcu102", "--out", str(specs),
+    ]) == 0
+    with pytest.raises(SystemExit, match="does not fail"):
+        main(["corpus", "minimize", str(next(specs.glob("*.json")))])
+
+
+def test_run_rejects_unknown_scheduler(tmp_path):
+    with pytest.raises(SystemExit, match="did you mean"):
+        main([
+            "corpus", "run", "--n", "1", "--platforms", "zcu102",
+            "--schedulers", "hefd_rt",
+            "--report", str(tmp_path / "r.json"),
+        ])

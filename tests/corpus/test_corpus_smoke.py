@@ -1,0 +1,49 @@
+"""The `corpus` tier: full parity sweep over the in-tree smoke corpus.
+
+Deselected from tier-1 by the default ``-m 'not corpus'`` filter; run it
+with ``pytest -m corpus``.  The corpus size scales through
+``REPRO_CORPUS_N`` (the nightly job raises it to hundreds of specs); at
+the default 8 the whole module finishes in about a minute.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.corpus import CorpusConfig, generate_corpus, run_corpus
+from repro.scenario import load_scenario
+
+pytestmark = pytest.mark.corpus
+
+SMOKE_DIR = Path(__file__).resolve().parents[2] / "examples" / "corpus"
+SMOKE_CONFIG = CorpusConfig(n=8, platforms=("zcu102",))
+
+
+def _corpus_n() -> int:
+    raw = os.environ.get("REPRO_CORPUS_N", "").strip()
+    return int(raw) if raw else 8
+
+
+def test_smoke_corpus_matches_generator():
+    """The checked-in documents ARE generate(seed=0) - no drift allowed."""
+    specs = generate_corpus(SMOKE_CONFIG, seed=0)
+    on_disk = [load_scenario(p) for p in sorted(SMOKE_DIR.glob("*.json"))]
+    assert [s.digest() for s in on_disk] == [s.digest() for s in specs]
+
+
+def test_full_parity_over_scaled_corpus():
+    n = _corpus_n()
+    cfg = CorpusConfig(n=n, platforms=SMOKE_CONFIG.platforms)
+    specs = generate_corpus(cfg, seed=0)
+    report = run_corpus(specs, n_jobs=None, seed=0)  # $REPRO_JOBS scales
+    assert len(report.cells) == n * len(report.schedulers)
+    violations = [c for c in report.cells if c.status == "violation"]
+    errors = [c for c in report.cells if c.status == "error"]
+    assert not violations, [(c.name, c.scheduler, c.code) for c in violations]
+    assert not errors, [(c.name, c.scheduler, c.message) for c in errors]
+    doc = report.to_json_dict()
+    assert doc["schema"] == "repro.corpus/1"
+    assert all(
+        not any(counts.values()) for counts in doc["violations"].values()
+    )

@@ -1,0 +1,114 @@
+"""Generator determinism, dedup, validity, and config knobs."""
+
+import pytest
+
+from repro.corpus import CorpusConfig, generate_corpus, generate_spec
+from repro.corpus.generator import PLATFORM_PARAM_RANGES
+from repro.platforms import PLATFORMS
+from repro.scenario import ScenarioSpec
+
+
+def test_same_seed_is_bit_identical():
+    cfg = CorpusConfig(n=8)
+    a = generate_corpus(cfg, seed=0)
+    b = generate_corpus(cfg, seed=0)
+    assert [s.digest() for s in a] == [s.digest() for s in b]
+    assert a == b
+
+
+def test_different_seeds_differ():
+    cfg = CorpusConfig(n=8)
+    a = {s.digest() for s in generate_corpus(cfg, seed=0)}
+    b = {s.digest() for s in generate_corpus(cfg, seed=1)}
+    assert a != b
+
+
+def test_digests_are_unique():
+    specs = generate_corpus(CorpusConfig(n=16), seed=0)
+    digests = [s.digest() for s in specs]
+    assert len(set(digests)) == len(digests) == 16
+
+
+def test_generate_spec_is_pure():
+    cfg = CorpusConfig(n=4)
+    assert generate_spec(cfg, 7, 3) == generate_spec(cfg, 7, 3)
+
+
+def test_every_spec_revalidates_through_canonical():
+    for spec in generate_corpus(CorpusConfig(n=12), seed=2):
+        rebuilt = ScenarioSpec.from_mapping(spec.canonical())
+        assert rebuilt.digest() == spec.digest()
+
+
+def test_kind_fractions():
+    assert all(
+        s.kind == "run"
+        for s in generate_corpus(CorpusConfig(n=6, run_fraction=1.0), seed=0)
+    )
+    assert all(
+        s.kind == "serve"
+        for s in generate_corpus(CorpusConfig(n=6, run_fraction=0.0), seed=0)
+    )
+
+
+def test_platform_restriction():
+    specs = generate_corpus(CorpusConfig(n=6, platforms=("jetson",)), seed=0)
+    assert all(s.platform == "jetson" for s in specs)
+
+
+def test_fault_fraction_extremes():
+    never = generate_corpus(
+        CorpusConfig(n=6, run_fraction=1.0, fault_fraction=0.0), seed=0
+    )
+    assert all(s.faults is None for s in never)
+    always = generate_corpus(
+        CorpusConfig(n=6, run_fraction=1.0, fault_fraction=1.0), seed=0
+    )
+    assert all(s.faults is not None for s in always)
+
+
+def test_platform_params_within_declared_ranges():
+    specs = generate_corpus(CorpusConfig(n=20), seed=4)
+    for spec in specs:
+        ranges = PLATFORM_PARAM_RANGES[spec.platform]
+        for param, value in spec.platform_params:
+            lo, hi = ranges[param]
+            assert lo <= value <= hi, (spec.platform, param, value)
+
+
+def test_every_platform_param_range_builds():
+    """Both endpoints of every declared range must construct a platform."""
+    for platform, ranges in PLATFORM_PARAM_RANGES.items():
+        entry = PLATFORMS.get(platform)
+        for pick in (0, 1):
+            params = {p: bounds[pick] for p, bounds in ranges.items()}
+            entry.build_config(**params)  # raises if the pool is invalid
+
+
+def test_corpus_specs_are_timing_only():
+    specs = generate_corpus(CorpusConfig(n=8, run_fraction=1.0), seed=0)
+    assert all(not s.execute for s in specs)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError, match="corpus size"):
+        CorpusConfig(n=0)
+    with pytest.raises(ValueError, match="run_fraction"):
+        CorpusConfig(run_fraction=1.5)
+    with pytest.raises(ValueError, match="rate range"):
+        CorpusConfig(min_rate_mbps=100.0, max_rate_mbps=10.0)
+    with pytest.raises(ValueError, match="trials"):
+        CorpusConfig(trials=0)
+
+
+def test_axis_independence_platform_restriction():
+    """Restricting the platform pool must not perturb other axes' draws.
+
+    This is the point of the per-axis child streams: the same (seed,
+    index) draws the same scheduler/apps/seed whatever the platform menu.
+    """
+    wide = generate_spec(CorpusConfig(n=1), 11, 0)
+    narrow = generate_spec(CorpusConfig(n=1, platforms=(wide.platform,)), 11, 0)
+    assert narrow.scheduler == wide.scheduler
+    assert narrow.seed == wide.seed
+    assert narrow.kind == wide.kind

@@ -1,0 +1,46 @@
+"""Minimized corpus counterexamples, checked in as permanent regressions.
+
+This is the last leg of the corpus workflow: a parity run fails, the
+minimizer shrinks the failing cell to a small self-contained document
+(scheduler and ``audit = true`` folded in), and the document lands here
+so the bug can never come back silently.  Every spec in
+``examples/corpus/regressions/`` must run clean through the same
+``run_cell`` the parity sweep uses.
+
+Current entries:
+
+* ``watchdog-complete-race.json`` — the corpus's first real catch
+  (200-spec nightly at seed 0, cell corpus-0-0198 x rr): a watchdog
+  deadline whose guard passed while its suspect dispatch was RUNNING,
+  after which the worker completed the task during the daemon's
+  queue-pop charge; recovery then retried the settled task and
+  completed it twice (``exactly-once``).  Fixed by re-validating the
+  guard after the charge in ``CedrRuntime._handle_watchdog``.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.corpus import run_cell
+from repro.scenario import load_scenario
+
+REGRESSIONS = sorted(
+    (Path(__file__).resolve().parents[2] / "examples" / "corpus" / "regressions")
+    .glob("*.json")
+)
+
+
+def test_regression_corpus_is_not_empty():
+    assert REGRESSIONS, "regression corpus directory is missing or empty"
+
+
+@pytest.mark.parametrize("path", REGRESSIONS, ids=lambda p: p.stem)
+def test_minimized_counterexample_stays_fixed(path):
+    spec = load_scenario(path)
+    assert spec.audit, f"{path.name} must keep audit armed to guard anything"
+    outcome = run_cell(spec)
+    assert outcome.status == "ok", (
+        f"{path.name} regressed: {outcome.status} "
+        f"[{outcome.code}] {outcome.message}"
+    )

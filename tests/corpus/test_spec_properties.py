@@ -1,0 +1,52 @@
+"""Property tests: every generatable spec canonicalizes, digests, and
+round-trips through both document formats bit-identically."""
+
+import json
+import tomllib
+
+import pytest
+
+pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings  # noqa: E402
+
+from repro.corpus.strategies import scenario_specs  # noqa: E402
+from repro.scenario import ScenarioSpec  # noqa: E402
+
+FAST = settings(max_examples=40, deadline=None)
+
+
+@FAST
+@given(spec=scenario_specs())
+def test_canonical_reparse_is_digest_stable(spec):
+    rebuilt = ScenarioSpec.from_mapping(spec.canonical())
+    assert rebuilt.canonical() == spec.canonical()
+    assert rebuilt.digest() == spec.digest()
+
+
+@FAST
+@given(spec=scenario_specs())
+def test_json_dump_parse_round_trips(spec):
+    doc = json.loads(spec.to_json())
+    rebuilt = ScenarioSpec.from_mapping(doc, source="<json>")
+    assert rebuilt.digest() == spec.digest()
+
+
+@FAST
+@given(spec=scenario_specs())
+def test_toml_dump_parse_round_trips(spec):
+    doc = tomllib.loads(spec.to_toml())
+    rebuilt = ScenarioSpec.from_mapping(doc, source="<toml>")
+    assert rebuilt.digest() == spec.digest()
+
+
+@FAST
+@given(spec=scenario_specs())
+def test_generated_specs_build_real_objects(spec):
+    """Validity beyond parsing: the builders construct without raising."""
+    spec.build_platform()
+    spec.build_config()
+    if spec.kind == "run":
+        spec.build_workload()
+    else:
+        spec.build_serve()

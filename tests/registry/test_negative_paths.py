@@ -1,0 +1,66 @@
+"""Did-you-mean coverage across every registry axis.
+
+Each axis must reject a near-miss name with (a) a RegistryError that is
+both KeyError and ValueError, (b) the full sorted listing of available
+entries, and (c) a did-you-mean hint pointing at the intended name.
+"""
+
+import pytest
+
+from repro.registry import RegistryError
+
+from repro.apps import APPS
+from repro.experiments import FIGURES
+from repro.faults import FAULT_KINDS
+from repro.platforms import PLATFORMS
+from repro.sched import SCHEDULERS
+from repro.serve.arrival import ARRIVALS
+from repro.workload import WORKLOADS
+
+# (registry, typo, the name the hint must suggest)
+AXES = [
+    pytest.param(SCHEDULERS, "hefd_rt", "heft_rt", id="schedulers"),
+    pytest.param(PLATFORMS, "zcu103", "zcu102", id="platforms"),
+    pytest.param(APPS, "PDD", "PD", id="apps"),
+    pytest.param(WORKLOADS, "radar-coms", "radar-comms", id="workloads"),
+    pytest.param(ARRIVALS, "poison", "poisson", id="arrivals"),
+    pytest.param(FAULT_KINDS, "transiert", "transient", id="fault-kinds"),
+    pytest.param(FIGURES, "fig55", "fig5", id="figures"),
+]
+
+
+@pytest.mark.parametrize("registry,typo,intended", AXES)
+def test_close_miss_gets_a_suggestion(registry, typo, intended):
+    with pytest.raises(RegistryError) as ei:
+        registry.get(typo)
+    message = str(ei.value)
+    assert f"unknown {registry.kind}" in message
+    assert "available:" in message
+    for name in registry.names():
+        assert name in message
+    assert f"did you mean {intended!r}?" in message
+
+
+@pytest.mark.parametrize("registry,typo,intended", AXES)
+def test_registry_error_is_both_key_and_value_error(registry, typo, intended):
+    with pytest.raises(KeyError):
+        registry.get(typo)
+    with pytest.raises(ValueError):
+        registry.get(typo)
+
+
+@pytest.mark.parametrize("registry,typo,intended", AXES)
+def test_far_miss_lists_without_guessing(registry, typo, intended):
+    with pytest.raises(RegistryError) as ei:
+        registry.get("zzzzqqqq")
+    message = str(ei.value)
+    assert "available:" in message
+    assert "did you mean" not in message
+
+
+@pytest.mark.parametrize("registry,typo,intended", AXES)
+def test_enumeration_is_sorted(registry, typo, intended):
+    names = registry.names()
+    assert names == tuple(sorted(names))
+    assert list(registry) == list(names)
+    assert tuple(k for k, _ in registry.items()) == names

@@ -1,0 +1,161 @@
+"""Scenario validation negative paths: unknown names and unknown keys
+across every registry axis, all surfacing as ScenarioError (so the CLI
+reports them instead of crashing)."""
+
+import pytest
+
+from repro.scenario import ScenarioError, ScenarioSpec
+
+
+def _doc(**overrides):
+    doc = {
+        "scenario": {"name": "neg"},
+        "platform": {"name": "zcu102"},
+        "scheduler": {"name": "etf"},
+        "workload": {"apps": [{"name": "PD", "count": 1}]},
+    }
+    doc.update(overrides)
+    return doc
+
+
+# ------------------------------------------------------------------ #
+# unknown registry names, one per axis, all as ScenarioError
+# ------------------------------------------------------------------ #
+
+UNKNOWN_NAMES = [
+    pytest.param(
+        _doc(scheduler={"name": "hefd_rt"}), "heft_rt", id="scheduler"
+    ),
+    pytest.param(
+        _doc(platform={"name": "zcu103"}), "zcu102", id="platform"
+    ),
+    pytest.param(
+        _doc(workload={"apps": [{"name": "PDD"}]}), "PD", id="app"
+    ),
+    pytest.param(
+        _doc(workload={"preset": "radar-coms"}), "radar-comms", id="workload-preset"
+    ),
+    pytest.param(
+        _doc(workload={"apps": "PD:1", "arrival": "poison"}),
+        "poisson",
+        id="arrival",
+    ),
+    pytest.param(
+        _doc(faults={"rate": 10.0, "kinds": ["transiert"]}),
+        "transient",
+        id="fault-kind",
+    ),
+    pytest.param(
+        _doc(engine={"event_core": "wheeel"}), "wheel", id="event-core"
+    ),
+]
+
+
+@pytest.mark.parametrize("doc,intended", UNKNOWN_NAMES)
+def test_unknown_name_is_scenario_error_with_hint(doc, intended):
+    with pytest.raises(ScenarioError) as ei:
+        ScenarioSpec.from_mapping(doc, source="<test>")
+    message = str(ei.value)
+    assert intended in message  # listing or did-you-mean names the fix
+
+
+def test_unknown_app_name_does_not_leak_raw_registry_error():
+    """Regression: app names are validated inside section parsing; the
+    raw RegistryError must be wrapped so `scenario validate` catches it."""
+    try:
+        ScenarioSpec.from_mapping(
+            _doc(workload={"apps": [{"name": "PDD"}]}), source="<test>"
+        )
+    except ScenarioError:
+        pass  # the required outcome
+    else:
+        pytest.fail("unknown app name validated successfully")
+
+
+# ------------------------------------------------------------------ #
+# unknown keys, with did-you-mean, in every section
+# ------------------------------------------------------------------ #
+
+UNKNOWN_KEYS = [
+    pytest.param({"scenari": {}}, "scenario", id="top-level-section"),
+    pytest.param(
+        _doc(scenario={"name": "neg", "sede": 1}), "seed", id="scenario-key"
+    ),
+    pytest.param(
+        _doc(scheduler={"nam": "etf"}), "name", id="scheduler-key"
+    ),
+    pytest.param(
+        _doc(engine={"event_cor": "wheel"}), "event_core", id="engine-key"
+    ),
+    pytest.param(
+        _doc(telemetry={"interval": 0.1}), "interval_s", id="telemetry-key"
+    ),
+    pytest.param(
+        _doc(workload={"apps": "PD:1", "arival": "periodic"}),
+        "arrival",
+        id="workload-key",
+    ),
+    pytest.param(
+        _doc(run={"rate_mbp": 100.0}), "rate_mbps", id="run-key"
+    ),
+    pytest.param(
+        _doc(faults={"rate": 5.0, "kind": ["hang"]}), "kinds", id="faults-key"
+    ),
+]
+
+
+@pytest.mark.parametrize("doc,suggestion", UNKNOWN_KEYS)
+def test_unknown_key_suggests_the_spelling(doc, suggestion):
+    with pytest.raises(ScenarioError) as ei:
+        ScenarioSpec.from_mapping(doc, source="<test>")
+    message = str(ei.value)
+    assert "unknown key" in message
+    assert f"did you mean {suggestion!r}?" in message
+
+
+def test_unknown_serve_keys():
+    doc = {
+        "scenario": {"name": "neg", "kind": "serve"},
+        "serve": {"duratoin": 0.1},
+    }
+    with pytest.raises(ScenarioError, match="did you mean 'duration'"):
+        ScenarioSpec.from_mapping(doc, source="<test>")
+    doc = {
+        "scenario": {"name": "neg", "kind": "serve"},
+        "serve": {"admission": {"polcy": "shed"}},
+    }
+    with pytest.raises(ScenarioError, match="did you mean 'policy'"):
+        ScenarioSpec.from_mapping(doc, source="<test>")
+
+
+def test_unknown_platform_parameter_lists_accepted():
+    with pytest.raises(ScenarioError, match="accepts: cpu, fft, mmult"):
+        ScenarioSpec.from_mapping(
+            _doc(platform={"name": "zcu102", "gpu": 1}), source="<test>"
+        )
+
+
+def test_kind_mismatched_sections_rejected():
+    doc = _doc()
+    doc["scenario"]["kind"] = "serve"
+    with pytest.raises(ScenarioError, match="run-kind section"):
+        ScenarioSpec.from_mapping(doc, source="<test>")
+    with pytest.raises(ScenarioError, match="serve-kind section"):
+        ScenarioSpec.from_mapping(
+            _doc(serve={"duration": 0.1}), source="<test>"
+        )
+
+
+def test_validate_cli_reports_unknown_app(tmp_path, capsys):
+    """End to end: the CLI prints FAIL for a bad app name, exit code 1."""
+    from repro.cli import main
+
+    path = tmp_path / "bad.json"
+    path.write_text(
+        '{"scenario": {"name": "bad"}, '
+        '"workload": {"apps": [{"name": "PDD"}]}}'
+    )
+    assert main(["scenario", "validate", str(path)]) == 1
+    out = capsys.readouterr().out
+    assert "FAIL" in out
+    assert "did you mean 'PD'?" in out
